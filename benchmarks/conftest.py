@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark suite.
+
+Every paper artifact (Fig. 3, 5, 6, 8 and the task-hour table) has one
+benchmark module that (a) times the regeneration of that artifact on a
+reduced-but-same-shape parameterization and (b) writes the regenerated
+rows/series to ``results/bench_*.txt`` so the output survives pytest's
+capture. Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "results")
+
+
+def save_report(name: str, text: str) -> str:
+    """Persist a regenerated artifact under results/ and echo it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print(text)
+    return path

@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the core machinery (not tied to one figure).
+
+Times the hot paths a production deployment would care about: the DES
+kernel, the latency-model evaluation, Rebalance at large scale-out
+bounds, and the measurement pipeline's summary merge.
+"""
+
+import random
+
+from repro.core.latency_model import SequenceLatencyModel, VertexModel, kingman_waiting_time
+from repro.core.rebalance import rebalance
+from repro.qos.stats import OnlineStats
+from repro.qos.summary import EdgeSummary, PartialSummary, VertexSummary, merge_partial_summaries
+from repro.simulation.kernel import Simulator
+
+
+def test_bench_kernel_event_throughput(benchmark):
+    """Raw DES event dispatch rate."""
+
+    def run_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 50_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_events) == 50_000
+
+
+def test_bench_kingman(benchmark):
+    """Kingman formula evaluation (called per vertex per candidate p)."""
+
+    def evaluate():
+        total = 0.0
+        for i in range(1000):
+            total += kingman_waiting_time(50.0 + i * 0.1, 0.004, 1.0, 0.7)
+        return total
+
+    assert benchmark(evaluate) > 0
+
+
+def test_bench_rebalance_wide_bounds(benchmark):
+    """Rebalance over 6 vertices with p_max = 520 (the paper's bound)."""
+    rng = random.Random(1)
+    models = [
+        VertexModel(
+            f"v{i}", 1, 1, 520,
+            arrival_rate=rng.uniform(50, 400),
+            service_mean=rng.uniform(0.001, 0.01),
+            variability=rng.uniform(0.2, 1.5),
+        )
+        for i in range(6)
+    ]
+    model = SequenceLatencyModel("big", models)
+    result = benchmark(lambda: rebalance(model, 0.002))
+    assert result.feasible
+
+
+def test_bench_online_stats(benchmark):
+    """Welford accumulation (called per sample on the hot path)."""
+
+    def accumulate():
+        stats = OnlineStats()
+        for i in range(10_000):
+            stats.add(i * 0.001)
+        return stats.mean
+
+    assert benchmark(accumulate) > 0
+
+
+def test_bench_summary_merge(benchmark):
+    """Merging 16 partial summaries of a 6-vertex job."""
+    partials = []
+    for m in range(16):
+        partial = PartialSummary(0.0)
+        for v in range(6):
+            partial.vertices[f"v{v}"] = VertexSummary(
+                f"v{v}", 0.001, 0.004, 0.7, 0.01, 1.0, n_tasks=4
+            )
+        for e in range(5):
+            partial.edges[f"e{e}"] = EdgeSummary(f"e{e}", 0.005, 0.002, 8)
+        partials.append(partial)
+    merged = benchmark(lambda: merge_partial_summaries(0.0, partials))
+    assert len(merged.vertices) == 6

@@ -1,0 +1,57 @@
+"""Benchmark + regeneration of Fig. 3 (motivation: four static configs).
+
+Uses the quick parameterization (same shape: step load, four batching
+configurations); asserts the paper's qualitative orderings and records
+the regenerated table under results/.
+"""
+
+import pytest
+
+from repro.experiments.fig3_motivation import CONFIG_NAMES, Fig3Params, run
+
+from conftest import save_report
+
+PARAMS = Fig3Params().quick()
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return run(PARAMS)
+
+
+def test_bench_fig3_full_table(benchmark, fig3_result):
+    """Time one configuration run; report the full regenerated table."""
+    result = benchmark.pedantic(
+        lambda: run(PARAMS, configs=("Nephele-20ms",)), rounds=1, iterations=1
+    )
+    assert result.configs["Nephele-20ms"].rows
+    save_report("bench_fig3.txt", fig3_result.report())
+
+
+def test_fig3_shape_warmup_latency_ordering(fig3_result):
+    """Instant-flush warm-up latency << adaptive-20ms << fixed-16KiB."""
+    configs = fig3_result.configs
+    instant = configs["Nephele-IF"].warmup_latency
+    adaptive = configs["Nephele-20ms"].warmup_latency
+    assert instant < 0.020
+    assert instant < adaptive <= 0.030
+
+
+def test_fig3_shape_throughput_ordering(fig3_result):
+    """Effective peak throughput: instant < adaptive <= fixed-16KiB."""
+    configs = fig3_result.configs
+    instant = max(
+        configs["Storm"].peak_effective_rate, configs["Nephele-IF"].peak_effective_rate
+    )
+    adaptive = configs["Nephele-20ms"].peak_effective_rate
+    fixed = configs["Nephele-16KiB"].peak_effective_rate
+    assert fixed > instant * 1.1  # paper: +58 %
+    assert adaptive > instant * 1.02  # paper: +30 %
+
+
+def test_fig3_all_configs_ran_all_phases(fig3_result):
+    for name in CONFIG_NAMES:
+        rows = fig3_result.configs[name].rows
+        assert rows[-1].time >= PARAMS.workload.step_duration * (
+            2 * PARAMS.workload.increment_steps
+        )

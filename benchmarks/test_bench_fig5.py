@@ -1,0 +1,39 @@
+"""Benchmark + regeneration of Fig. 5 (solution-candidate surface)."""
+
+import pytest
+
+from repro.experiments.fig5_surface import Fig5Params, build_models, run
+from repro.core.rebalance import rebalance
+
+from conftest import save_report
+
+PARAMS = Fig5Params()
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return run(PARAMS)
+
+
+def test_bench_fig5_surface(benchmark, fig5_result):
+    """Time the full surface sweep + optimizer."""
+    result = benchmark(lambda: run(PARAMS))
+    save_report("bench_fig5.txt", fig5_result.report())
+    assert result.surface
+
+
+def test_bench_rebalance_only(benchmark):
+    """Time a single Rebalance invocation on the Fig. 5 model."""
+    model = build_models(PARAMS)
+    result = benchmark(lambda: rebalance(model, PARAMS.wait_budget))
+    assert result.feasible
+
+
+def test_fig5_shape_multiple_optima(fig5_result):
+    """The paper notes multiple optima may exist."""
+    assert len(fig5_result.optima) >= 1
+    assert fig5_result.brute_total is not None
+
+
+def test_fig5_rebalance_hits_surface_minimum(fig5_result):
+    assert fig5_result.rebalance_total <= fig5_result.brute_total + 1

@@ -1,0 +1,45 @@
+"""Benchmark + regeneration of Fig. 6 (elastic vs. unelastic PrimeTester)."""
+
+import pytest
+
+from repro.experiments.fig6_primetester import Fig6Params, run, run_baseline, run_elastic
+
+from conftest import save_report
+
+PARAMS = Fig6Params().quick()
+
+
+@pytest.fixture(scope="module")
+def fig6_result():
+    return run(PARAMS, sweep=False)
+
+
+def test_bench_fig6_elastic_run(benchmark, fig6_result):
+    """Time the elastic configuration's full phase plan."""
+    result = benchmark.pedantic(lambda: run_elastic(PARAMS), rounds=1, iterations=1)
+    assert result.fulfillment is not None
+    save_report("bench_fig6.txt", fig6_result.report())
+
+
+def test_fig6_shape_constraint_mostly_fulfilled(fig6_result):
+    """Paper: the 20 ms constraint holds ~91 % of adjustment intervals."""
+    assert fig6_result.elastic.fulfillment >= 0.75
+
+
+def test_fig6_shape_elastic_adapts_parallelism(fig6_result):
+    elastic = fig6_result.elastic
+    assert elastic.min_parallelism < PARAMS.workload.n_testers
+    assert elastic.max_parallelism > elastic.min_parallelism
+
+
+def test_fig6_shape_baseline_latency_floor(fig6_result):
+    """The throughput-tuned baseline cannot reach low latency (paper: >= 348 ms)."""
+    baseline = fig6_result.baseline
+    elastic = fig6_result.elastic
+    assert baseline.min_mean_latency > 5 * elastic.min_mean_latency
+
+
+def test_fig6_shape_task_hours_comparable(fig6_result):
+    """Paper: elastic task-hours roughly match the hand-tuned baseline."""
+    ratio = fig6_result.elastic.task_seconds / fig6_result.baseline.task_seconds
+    assert 0.4 <= ratio <= 1.4

@@ -1,0 +1,44 @@
+"""Benchmark + regeneration of Fig. 8 (TwitterSentiment with scaling)."""
+
+import pytest
+
+from repro.experiments.fig8_twitter import Fig8Params, run
+
+from conftest import save_report
+
+PARAMS = Fig8Params().quick()
+
+
+@pytest.fixture(scope="module")
+def fig8_result():
+    return run(PARAMS)
+
+
+def test_bench_fig8_run(benchmark, fig8_result):
+    """Time the full (quick) TwitterSentiment run."""
+    result = benchmark.pedantic(lambda: run(PARAMS), rounds=1, iterations=1)
+    assert result.rows
+    save_report("bench_fig8.txt", fig8_result.report())
+
+
+def test_fig8_shape_constraints_mostly_fulfilled(fig8_result):
+    """Paper: 93 % (hot topics) and 96 % (sentiment) fulfillment."""
+    for name, ratio in fig8_result.fulfillment.items():
+        assert ratio >= 0.7, (name, ratio)
+
+
+def test_fig8_shape_sentiment_scales_up_at_burst(fig8_result):
+    """Paper: the tweet burst triggers a significant Sentiment scale-up."""
+    assert fig8_result.sentiment_burst_scaleup is not None
+    assert fig8_result.sentiment_burst_scaleup >= 2
+
+
+def test_fig8_shape_slight_overprovisioning(fig8_result):
+    """Paper: mean task CPU utilization 55.7 % (system stays over-provisioned)."""
+    assert 0.05 <= fig8_result.mean_cpu_utilization <= 0.9
+
+
+def test_fig8_elastic_vertices_adapt(fig8_result):
+    for vertex in ("HotTopics", "Sentiment"):
+        low, high = fig8_result.parallelism_ranges[vertex]
+        assert high > low, vertex

@@ -1,0 +1,49 @@
+"""Policy comparison bench: the paper's strategy vs. related-work baselines.
+
+The paper argues (Sec. VI) that related systems' scaling policies are
+"designed to prevent overload/bottlenecks, conversely our policy is
+designed to minimize the violation of user-defined latency constraints".
+This bench runs :mod:`repro.experiments.compare_policies` (quick variant)
+and asserts the claim's direction.
+"""
+
+import pytest
+
+from repro.experiments.compare_policies import CompareParams, POLICIES, run, run_policy
+
+from conftest import save_report
+
+PARAMS = CompareParams().quick()
+
+
+@pytest.fixture(scope="module")
+def policy_results():
+    return run(PARAMS)
+
+
+def test_bench_policy_comparison(benchmark, policy_results):
+    """Time the paper's policy run; report the comparison table."""
+    outcome = benchmark.pedantic(
+        lambda: run_policy(PARAMS, "scale-reactively"), rounds=1, iterations=1
+    )
+    assert outcome.fulfillment > 0
+    save_report("bench_policies.txt", policy_results.report())
+
+
+def test_paper_policy_beats_or_matches_baselines(policy_results):
+    """Latency-driven scaling should fulfill the constraint at least as
+    often as overload-prevention baselines (the paper's core claim)."""
+    paper = policy_results.outcomes["scale-reactively"].fulfillment
+    for baseline in ("cpu-threshold", "rate-based"):
+        assert paper >= policy_results.outcomes[baseline].fulfillment - 0.05, baseline
+
+
+def test_predictive_no_worse_than_reactive(policy_results):
+    predictive = policy_results.outcomes["predictive"].fulfillment
+    reactive = policy_results.outcomes["scale-reactively"].fulfillment
+    assert predictive >= reactive - 0.10
+
+
+def test_all_policies_scale(policy_results):
+    for name in POLICIES:
+        assert policy_results.outcomes[name].scaling_events > 0, name

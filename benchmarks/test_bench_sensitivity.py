@@ -1,0 +1,42 @@
+"""Sensitivity bench: robustness of the strategy to its own parameters.
+
+Sweeps control knobs the paper fixes without discussion (ρ_max, the
+queue-wait share) on the quick step-load scenario and records the
+resulting fulfillment / resource / churn table under results/.
+"""
+
+import pytest
+
+from repro.experiments.sensitivity import SensitivityParams, run, run_point
+
+from conftest import save_report
+
+PARAMS = SensitivityParams().quick()
+
+
+@pytest.fixture(scope="module")
+def sensitivity_result():
+    return run(PARAMS)
+
+
+def test_bench_sensitivity_sweep(benchmark, sensitivity_result):
+    """Time one sweep point; report the whole grid."""
+    point = benchmark.pedantic(
+        lambda: run_point(PARAMS, w_fraction=0.2), rounds=1, iterations=1
+    )
+    assert point.task_seconds > 0
+    save_report("bench_sensitivity.txt", sensitivity_result.report())
+
+
+def test_all_points_completed(sensitivity_result):
+    expected = sum(len(values) for values in PARAMS.sweeps.values())
+    assert len(sensitivity_result.points) == expected
+    for point in sensitivity_result.points:
+        assert 0.0 <= point.fulfillment <= 1.0
+        assert point.scaling_events > 0
+
+
+def test_report_has_one_block_per_parameter(sensitivity_result):
+    text = sensitivity_result.report()
+    for parameter in PARAMS.sweeps:
+        assert parameter in text

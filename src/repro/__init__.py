@@ -1,0 +1,179 @@
+"""repro — Elastic Stream Processing with Latency Guarantees (ICDCS 2015).
+
+A faithful, laptop-scale reproduction of Lohrmann, Janacik & Kao's
+reactive elastic-scaling strategy for latency-constrained stream
+processing, together with the simulated Nephele-style stream processing
+engine it runs on.
+
+Quickstart
+----------
+>>> from repro import (EngineConfig, StreamProcessingEngine,
+...                    build_primetester_job, PrimeTesterParams)
+>>> graph, profile = build_primetester_job(PrimeTesterParams())
+>>> engine = StreamProcessingEngine(EngineConfig.nephele_adaptive())
+>>> engine.submit(graph)
+>>> engine.run(30.0)
+
+See ``examples/`` for complete scenarios (including the elastic
+PrimeTester and TwitterSentiment evaluations) and ``DESIGN.md`` for the
+architecture and the paper-to-module map.
+"""
+
+from repro.core.constraints import ConstraintTracker, LatencyConstraint
+from repro.core.latency_model import (
+    SequenceLatencyModel,
+    VertexModel,
+    build_sequence_model,
+    kingman_waiting_time,
+)
+from repro.core.rebalance import RebalanceResult, rebalance
+from repro.core.bottlenecks import find_bottlenecks, resolve_bottlenecks
+from repro.core.scale_reactively import ScaleReactivelyPolicy, ScalingDecision
+from repro.core.elastic_scaler import ElasticScaler
+from repro.core.batching_policy import AdaptiveBatchingPolicy
+from repro.engine.engine import EngineConfig, StreamProcessingEngine
+from repro.engine.batching import (
+    AdaptiveDeadlineBatching,
+    BatchingStrategy,
+    FixedSizeBatching,
+    InstantFlush,
+)
+from repro.engine.udf import (
+    Emit,
+    FilterUDF,
+    FlatMapUDF,
+    MapUDF,
+    SinkUDF,
+    SourceUDF,
+    UDF,
+    WindowedAggregateUDF,
+)
+from repro.graphs.job_graph import JobEdge, JobGraph, JobVertex
+from repro.graphs.sequences import JobSequence
+from repro.simulation.kernel import Simulator
+from repro.simulation.randomness import (
+    Deterministic,
+    Distribution,
+    Exponential,
+    Gamma,
+    LogNormal,
+    RandomStreams,
+    Uniform,
+)
+from repro.workloads.primetester import (
+    PrimeTesterParams,
+    build_primetester_job,
+    is_probable_prime,
+)
+from repro.workloads.rates import ConstantRate, DiurnalRate, PiecewiseRate, RateProfile
+from repro.workloads.twitter_job import (
+    TwitterSentimentParams,
+    build_twitter_sentiment_job,
+)
+from repro.workloads.traces import (
+    TraceRateProfile,
+    generate_diurnal_trace,
+    load_trace,
+    save_trace,
+)
+from repro.builder import BuiltPipeline, PipelineBuilder
+from repro.core.policies import CpuThresholdPolicy, RateBasedPolicy, StaticPolicy
+from repro.core.predictive import HoltForecaster, PredictiveScaleReactivelyPolicy
+from repro.analysis import (
+    PipelineStage,
+    allen_cunneen_waiting_time,
+    erlang_c,
+    md1_waiting_time,
+    mg1_waiting_time,
+    mm1_waiting_time,
+    mmc_waiting_time,
+    predict_pipeline_latency,
+    required_servers,
+    saturation_rate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "LatencyConstraint",
+    "ConstraintTracker",
+    "kingman_waiting_time",
+    "VertexModel",
+    "SequenceLatencyModel",
+    "build_sequence_model",
+    "rebalance",
+    "RebalanceResult",
+    "find_bottlenecks",
+    "resolve_bottlenecks",
+    "ScaleReactivelyPolicy",
+    "ScalingDecision",
+    "ElasticScaler",
+    "AdaptiveBatchingPolicy",
+    # engine
+    "EngineConfig",
+    "StreamProcessingEngine",
+    "BatchingStrategy",
+    "InstantFlush",
+    "FixedSizeBatching",
+    "AdaptiveDeadlineBatching",
+    # UDFs
+    "UDF",
+    "Emit",
+    "SourceUDF",
+    "MapUDF",
+    "FilterUDF",
+    "FlatMapUDF",
+    "WindowedAggregateUDF",
+    "SinkUDF",
+    # graphs
+    "JobGraph",
+    "JobVertex",
+    "JobEdge",
+    "JobSequence",
+    # simulation
+    "Simulator",
+    "RandomStreams",
+    "Distribution",
+    "Deterministic",
+    "Exponential",
+    "Gamma",
+    "LogNormal",
+    "Uniform",
+    # workloads
+    "RateProfile",
+    "ConstantRate",
+    "PiecewiseRate",
+    "DiurnalRate",
+    "PrimeTesterParams",
+    "build_primetester_job",
+    "is_probable_prime",
+    "TwitterSentimentParams",
+    "build_twitter_sentiment_job",
+    # builder
+    "PipelineBuilder",
+    "BuiltPipeline",
+    # traces
+    "TraceRateProfile",
+    "generate_diurnal_trace",
+    "load_trace",
+    "save_trace",
+    # alternative / extended policies
+    "CpuThresholdPolicy",
+    "RateBasedPolicy",
+    "StaticPolicy",
+    "HoltForecaster",
+    "PredictiveScaleReactivelyPolicy",
+    # analytic queueing
+    "mm1_waiting_time",
+    "md1_waiting_time",
+    "mg1_waiting_time",
+    "mmc_waiting_time",
+    "allen_cunneen_waiting_time",
+    "erlang_c",
+    "required_servers",
+    "PipelineStage",
+    "predict_pipeline_latency",
+    "saturation_rate",
+]

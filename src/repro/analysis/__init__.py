@@ -1,0 +1,36 @@
+"""Analytic queueing theory used to reason about (and validate) the engine.
+
+The paper's latency model rests on Kingman's GI/G/1 heavy-traffic
+approximation; this subpackage collects the surrounding closed forms —
+M/M/1, M/D/1, M/G/1 (Pollaczek–Khinchine), the Allen–Cunneen
+approximation, Erlang C for M/M/c — plus helpers to predict end-to-end
+latency of a pipeline analytically. The test suite uses these formulas
+as ground truth against the discrete-event engine, which is what makes
+the substrate trustworthy for reproducing the paper's queueing effects.
+"""
+
+from repro.analysis.queueing import (
+    mm1_waiting_time,
+    mm1_queue_length,
+    md1_waiting_time,
+    mg1_waiting_time,
+    allen_cunneen_waiting_time,
+    erlang_c,
+    mmc_waiting_time,
+    required_servers,
+)
+from repro.analysis.pipeline import PipelineStage, predict_pipeline_latency, saturation_rate
+
+__all__ = [
+    "mm1_waiting_time",
+    "mm1_queue_length",
+    "md1_waiting_time",
+    "mg1_waiting_time",
+    "allen_cunneen_waiting_time",
+    "erlang_c",
+    "mmc_waiting_time",
+    "required_servers",
+    "PipelineStage",
+    "predict_pipeline_latency",
+    "saturation_rate",
+]

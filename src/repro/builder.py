@@ -1,0 +1,229 @@
+"""A fluent builder for linear streaming pipelines.
+
+:class:`JobGraph` is the general API (arbitrary DAGs, explicit wiring);
+for the common case — a linear chain from one source to one sink with a
+latency constraint over the middle — :class:`PipelineBuilder` removes the
+boilerplate:
+
+>>> from repro.builder import PipelineBuilder
+>>> from repro import ConstantRate, Gamma
+>>> job = (
+...     PipelineBuilder("scores")
+...     .source(lambda now, rng: rng.random(), rate=ConstantRate(100.0))
+...     .map("square", lambda x: x * x, service=Gamma(0.004, 0.7), parallelism=(2, 1, 16))
+...     .filter("positives", lambda x: x > 0.25, service=Gamma(0.001, 0.5))
+...     .sink()
+...     .constrain(bound=0.030)
+...     .build()
+... )
+>>> job.graph.vertex("square").elastic
+True
+
+``build()`` returns a :class:`BuiltPipeline` carrying the job graph and
+the declared constraints, ready for
+:meth:`~repro.engine.engine.StreamProcessingEngine.submit`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.constraints import LatencyConstraint
+from repro.engine.udf import FilterUDF, FlatMapUDF, MapUDF, SinkUDF, SourceUDF, UDF
+from repro.graphs.job_graph import JobGraph, JobVertex
+from repro.graphs.sequences import JobSequence
+from repro.simulation.randomness import Distribution
+from repro.workloads.rates import RateProfile
+
+#: parallelism spec: a fixed int, or (initial, min, max)
+ParallelismSpec = Union[int, Tuple[int, int, int]]
+
+
+class BuiltPipeline:
+    """The builder's output: a job graph plus its latency constraints."""
+
+    def __init__(self, graph: JobGraph, constraints: List[LatencyConstraint]) -> None:
+        self.graph = graph
+        self.constraints = constraints
+
+    def submit_to(self, engine) -> None:
+        """Convenience: ``engine.submit(graph, constraints)``."""
+        engine.submit(self.graph, self.constraints)
+
+    def __repr__(self) -> str:
+        return f"BuiltPipeline({self.graph!r}, {len(self.constraints)} constraints)"
+
+
+def _split_parallelism(spec: ParallelismSpec) -> Tuple[int, int, int]:
+    if isinstance(spec, int):
+        return spec, spec, spec
+    initial, low, high = spec
+    return initial, low, high
+
+
+class PipelineBuilder:
+    """Builds ``source -> stage* -> sink`` pipelines fluently."""
+
+    def __init__(self, name: str) -> None:
+        self.graph = JobGraph(name)
+        self._last: Optional[JobVertex] = None
+        self._source: Optional[JobVertex] = None
+        self._sink: Optional[JobVertex] = None
+        self._pattern_for_next = "round_robin"
+        self._key_fn_for_next: Optional[Callable[[object], object]] = None
+        self._constraints: List[LatencyConstraint] = []
+
+    # ------------------------------------------------------------------
+    # stages
+    # ------------------------------------------------------------------
+
+    def source(
+        self,
+        generator: Callable[[float, object], object],
+        rate: RateProfile,
+        name: str = "source",
+        parallelism: int = 1,
+    ) -> "PipelineBuilder":
+        """Add the (single) source stage with its rate profile."""
+        if self._source is not None:
+            raise ValueError("pipeline already has a source")
+        vertex = self.graph.add_vertex(
+            name, lambda: SourceUDF(generator), parallelism=parallelism
+        )
+        vertex.rate_profile = rate
+        self._source = vertex
+        self._last = vertex
+        return self
+
+    def stage(
+        self,
+        name: str,
+        udf_factory: Callable[[], UDF],
+        parallelism: ParallelismSpec = 1,
+    ) -> "PipelineBuilder":
+        """Add an arbitrary UDF stage (factory called once per task)."""
+        if self._last is None:
+            raise ValueError("add a source first")
+        if self._sink is not None:
+            raise ValueError("pipeline already ended with sink()")
+        initial, low, high = _split_parallelism(parallelism)
+        vertex = self.graph.add_vertex(
+            name, udf_factory, parallelism=initial,
+            min_parallelism=low, max_parallelism=high,
+        )
+        self.graph.connect(
+            self._last, vertex,
+            pattern=self._pattern_for_next,
+            key_fn=self._key_fn_for_next,
+        )
+        self._pattern_for_next = "round_robin"
+        self._key_fn_for_next = None
+        self._last = vertex
+        return self
+
+    def map(
+        self,
+        name: str,
+        fn: Callable[[object], object],
+        service: Optional[Distribution] = None,
+        parallelism: ParallelismSpec = 1,
+    ) -> "PipelineBuilder":
+        """Add a 1-in/1-out transform stage."""
+        return self.stage(name, lambda: MapUDF(fn, service_dist=service), parallelism)
+
+    def filter(
+        self,
+        name: str,
+        predicate: Callable[[object], bool],
+        service: Optional[Distribution] = None,
+        parallelism: ParallelismSpec = 1,
+    ) -> "PipelineBuilder":
+        """Add a predicate stage."""
+        return self.stage(
+            name, lambda: FilterUDF(predicate, service_dist=service), parallelism
+        )
+
+    def flat_map(
+        self,
+        name: str,
+        fn: Callable[[object], Sequence[object]],
+        service: Optional[Distribution] = None,
+        parallelism: ParallelismSpec = 1,
+    ) -> "PipelineBuilder":
+        """Add a 1-in/N-out stage."""
+        return self.stage(
+            name, lambda: FlatMapUDF(fn, service_dist=service), parallelism
+        )
+
+    def key_by(self, key_fn: Callable[[object], object]) -> "PipelineBuilder":
+        """Wire the *next* stage with key partitioning on ``key_fn``."""
+        self._pattern_for_next = "key"
+        self._key_fn_for_next = key_fn
+        return self
+
+    def broadcast(self) -> "PipelineBuilder":
+        """Wire the *next* stage with broadcast replication."""
+        self._pattern_for_next = "broadcast"
+        self._key_fn_for_next = None
+        return self
+
+    def sink(
+        self,
+        on_item: Optional[Callable[[object], None]] = None,
+        name: str = "sink",
+        parallelism: int = 1,
+        service: Optional[Distribution] = None,
+    ) -> "PipelineBuilder":
+        """Terminate the pipeline."""
+        if self._last is None:
+            raise ValueError("add a source first")
+        if self._sink is not None:
+            raise ValueError("pipeline already ended with sink()")
+        vertex = self.graph.add_vertex(
+            name, lambda: SinkUDF(on_item, service_dist=service), parallelism=parallelism
+        )
+        self.graph.connect(self._last, vertex, pattern=self._pattern_for_next)
+        self._pattern_for_next = "round_robin"
+        self._sink = vertex
+        self._last = vertex
+        return self
+
+    # ------------------------------------------------------------------
+    # constraints and build
+    # ------------------------------------------------------------------
+
+    def constrain(
+        self,
+        bound: float,
+        window: float = 10.0,
+        name: Optional[str] = None,
+    ) -> "PipelineBuilder":
+        """Constrain the whole pipeline (source exit to sink entry).
+
+        The constrained sequence covers every intermediate stage plus the
+        channels out of the source and into the sink — the PrimeTester
+        constraint shape (Sec. III-B).
+        """
+        if self._source is None or self._sink is None:
+            raise ValueError("constrain() requires both source() and sink()")
+        middle = [
+            v.name
+            for v in self.graph.topological_order()
+            if v is not self._source and v is not self._sink
+        ]
+        if not middle:
+            raise ValueError("constrain() needs at least one stage between source and sink")
+        sequence = JobSequence.from_names(
+            self.graph, middle, leading_edge=True, trailing_edge=True
+        )
+        self._constraints.append(LatencyConstraint(sequence, bound, window, name))
+        return self
+
+    def build(self) -> BuiltPipeline:
+        """Validate and return the built pipeline."""
+        if self._source is None:
+            raise ValueError("pipeline has no source")
+        if self._sink is None:
+            raise ValueError("pipeline has no sink")
+        self.graph.validate()
+        return BuiltPipeline(self.graph, list(self._constraints))

@@ -1,0 +1,132 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiment {fig3,fig5,fig6,fig8,all}``
+    Run a paper-reproduction experiment and print its report
+    (``--quick`` for the reduced variant, ``--csv DIR`` to export series).
+``trace generate`` / ``trace info``
+    Synthesize or inspect rate traces (the stand-in for the paper's
+    two-week Twitter replay).
+``info``
+    Show version and the experiment inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import repro
+from repro.workloads.traces import generate_diurnal_trace, load_trace, save_trace
+
+EXPERIMENTS = ("fig3", "fig5", "fig6", "fig8", "sensitivity", "validation", "policies")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Elastic Stream Processing with Latency Guarantees' (ICDCS 2015)",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument("name", choices=EXPERIMENTS + ("all",))
+    exp.add_argument("--quick", action="store_true", help="reduced-scale variant")
+    exp.add_argument("--csv", metavar="DIR", help="export series CSVs into DIR")
+
+    trace = sub.add_parser("trace", help="rate-trace tooling")
+    trace_sub = trace.add_subparsers(dest="trace_command")
+    gen = trace_sub.add_parser("generate", help="synthesize a diurnal rate trace")
+    gen.add_argument("--days", type=int, default=14)
+    gen.add_argument("--base-rate", type=float, default=3000.0)
+    gen.add_argument("--amplitude", type=float, default=0.6)
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--out", required=True, metavar="PATH")
+    info = trace_sub.add_parser("info", help="summarize a trace CSV")
+    info.add_argument("path")
+
+    sub.add_parser("info", help="version and experiment inventory")
+    return parser
+
+
+def _run_experiment(name: str, quick: bool, csv_dir: Optional[str]) -> None:
+    import importlib
+
+    modules = {
+        "fig3": "repro.experiments.fig3_motivation",
+        "fig5": "repro.experiments.fig5_surface",
+        "fig6": "repro.experiments.fig6_primetester",
+        "fig8": "repro.experiments.fig8_twitter",
+        "sensitivity": "repro.experiments.sensitivity",
+        "validation": "repro.experiments.validation",
+        "policies": "repro.experiments.compare_policies",
+    }
+    params_classes = {
+        "fig3": "Fig3Params",
+        "fig6": "Fig6Params",
+        "fig8": "Fig8Params",
+        "sensitivity": "SensitivityParams",
+        "policies": "CompareParams",
+    }
+    module = importlib.import_module(modules[name])
+    if name in params_classes:
+        params = module.__dict__[params_classes[name]]()
+        if quick:
+            params = params.quick()
+        result = module.run(params)
+    else:
+        result = module.run()
+    print(result.report())
+    if csv_dir:
+        path = result.series_csv(f"{csv_dir}/{name}_series.csv")
+        print(f"series written to {path}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "info":
+        print(f"repro {repro.__version__} — Elastic Stream Processing with "
+              "Latency Guarantees (ICDCS 2015)")
+        print("experiments: " + ", ".join(EXPERIMENTS))
+        print("see DESIGN.md for the paper-to-module map and EXPERIMENTS.md "
+              "for paper-vs-measured results")
+        return 0
+    if args.command == "experiment":
+        names = EXPERIMENTS if args.name == "all" else (args.name,)
+        for name in names:
+            _run_experiment(name, args.quick, args.csv)
+        return 0
+    if args.command == "trace":
+        if args.trace_command == "generate":
+            trace = generate_diurnal_trace(
+                days=args.days,
+                base_rate=args.base_rate,
+                daily_amplitude=args.amplitude,
+                seed=args.seed,
+            )
+            path = save_trace(args.out, trace)
+            print(f"wrote {len(trace)} samples ({args.days} days) to {path}")
+            return 0
+        if args.trace_command == "info":
+            trace = load_trace(args.path)
+            rates = [rate for _, rate in trace]
+            duration = trace[-1][0]
+            print(f"{args.path}: {len(trace)} samples over {duration / 86400:.1f} days")
+            print(f"rate min/mean/max: {min(rates):.0f} / "
+                  f"{sum(rates) / len(rates):.0f} / {max(rates):.0f} items/s")
+            return 0
+        parser.parse_args(["trace", "--help"])
+        return 2
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""The paper's primary contribution (Sec. IV).
+
+* :mod:`repro.core.constraints` — latency-constraint semantics
+  ``(js, ℓ, t)`` over job sequences (Sec. II-A5);
+* :mod:`repro.core.latency_model` — the GI/G/1 / Kingman queue-wait model
+  with the empirical fitting coefficient ``e_jv`` (Sec. IV-C);
+* :mod:`repro.core.rebalance` — Algorithm 1, gradient descent with
+  variable step size minimizing total parallelism subject to a queue-wait
+  budget (Sec. IV-D);
+* :mod:`repro.core.bottlenecks` — bottleneck detection and the
+  ResolveBottlenecks doubling rule, Eq. 10 (Sec. IV-E);
+* :mod:`repro.core.scale_reactively` — Algorithm 2, the per-constraint
+  driver (Sec. IV-F);
+* :mod:`repro.core.elastic_scaler` — the master-side component issuing
+  scaling actions with post-scale-up inactivity;
+* :mod:`repro.core.batching_policy` — adaptive output-batching budgets
+  (the 80 % slack share, carried over from the authors' prior work [16]).
+"""
+
+from repro.core.constraints import LatencyConstraint, ConstraintTracker
+from repro.core.latency_model import (
+    kingman_waiting_time,
+    VertexModel,
+    SequenceLatencyModel,
+    build_sequence_model,
+)
+from repro.core.rebalance import RebalanceResult, rebalance
+from repro.core.bottlenecks import find_bottlenecks, resolve_bottlenecks
+from repro.core.scale_reactively import ScaleReactivelyPolicy, ScalingDecision
+from repro.core.elastic_scaler import ElasticScaler
+from repro.core.batching_policy import AdaptiveBatchingPolicy
+
+__all__ = [
+    "LatencyConstraint",
+    "ConstraintTracker",
+    "kingman_waiting_time",
+    "VertexModel",
+    "SequenceLatencyModel",
+    "build_sequence_model",
+    "RebalanceResult",
+    "rebalance",
+    "find_bottlenecks",
+    "resolve_bottlenecks",
+    "ScaleReactivelyPolicy",
+    "ScalingDecision",
+    "ElasticScaler",
+    "AdaptiveBatchingPolicy",
+]

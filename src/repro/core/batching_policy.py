@@ -1,0 +1,58 @@
+"""Adaptive output-batching budgets (paper Sec. IV-B / prior work [16]).
+
+QoS managers enforce latency constraints "on the first level" by
+configuring each channel's output-batch flush deadline. This policy
+computes the per-job-edge deadline targets from the global summary:
+
+    budget_js   = batch_fraction · (ℓ − Σ l_jv)       (the 80 % share)
+    deadline_je = deadline_factor · budget_js / |E(js)|
+
+Edges appearing in several constrained sequences get the *minimum* of
+their targets (the tightest constraint wins). ``deadline_factor``
+converts the mean-latency share into a flush deadline — the oldest item
+in a batch waits the full deadline, the mean item roughly half of it, so
+values between 1.0 and 1.6 keep the mean output-batch latency safely
+inside the budget while batching as much as possible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.constraints import LatencyConstraint
+from repro.qos.summary import GlobalSummary
+
+
+class AdaptiveBatchingPolicy:
+    """Computes per-edge flush deadlines from constraint slack."""
+
+    def __init__(
+        self,
+        constraints: List[LatencyConstraint],
+        batch_fraction: float = 0.8,
+        deadline_factor: float = 0.9,
+        min_deadline: float = 0.0,
+    ) -> None:
+        if not 0.0 < batch_fraction <= 1.0:
+            raise ValueError(f"batch_fraction must be in (0, 1] (got {batch_fraction})")
+        if deadline_factor <= 0:
+            raise ValueError(f"deadline_factor must be positive (got {deadline_factor})")
+        self.constraints = list(constraints)
+        self.batch_fraction = batch_fraction
+        self.deadline_factor = deadline_factor
+        self.min_deadline = min_deadline
+
+    def compute_targets(self, summary: GlobalSummary) -> Dict[str, float]:
+        """Per-job-edge flush deadlines (seconds) for this adjustment round."""
+        targets: Dict[str, float] = {}
+        for constraint in self.constraints:
+            edges = constraint.sequence.edges
+            if not edges:
+                continue
+            slack = constraint.bound - constraint.task_latency_sum(summary)
+            budget = self.batch_fraction * max(0.0, slack)
+            per_edge = max(self.min_deadline, self.deadline_factor * budget / len(edges))
+            for edge in edges:
+                existing = targets.get(edge.name)
+                targets[edge.name] = per_edge if existing is None else min(existing, per_edge)
+        return targets

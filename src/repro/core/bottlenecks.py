@@ -1,0 +1,71 @@
+"""Bottleneck detection and the ResolveBottlenecks technique (Sec. IV-E).
+
+A job vertex is a *bottleneck* when its measured utilization
+``ρ = λ · S̄`` reaches ``ρ_max`` (a value close to 1). Under a bottleneck
+the latency model is unusable: queue growth makes consumer-side
+utilization appear >= 1 and backpressure inflates producer-side service
+times. ResolveBottlenecks is therefore a measurement-free last resort:
+it at least doubles the bottleneck's parallelism (Eq. 10)
+
+    p* = min(p_max, max(2·p, 2·λ·p·S̄)),
+
+hoping to restore a measurable steady state so Rebalance becomes
+applicable again.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.graphs.sequences import JobSequence
+from repro.qos.summary import GlobalSummary
+
+
+def find_bottlenecks(
+    sequence: JobSequence,
+    summary: GlobalSummary,
+    rho_max: float = 0.9,
+) -> List[str]:
+    """Names of the sequence's vertices with utilization >= ``rho_max``."""
+    if not 0.0 < rho_max <= 1.0:
+        raise ValueError(f"rho_max must be in (0, 1] (got {rho_max})")
+    bottlenecks = []
+    for vertex in sequence.vertices:
+        vs = summary.vertex(vertex.name)
+        if vs is None:
+            continue
+        if vs.utilization >= rho_max:
+            bottlenecks.append(vertex.name)
+    return bottlenecks
+
+
+def resolve_bottlenecks(
+    sequence: JobSequence,
+    summary: GlobalSummary,
+    current_parallelism: Dict[str, int],
+    rho_max: float = 0.9,
+) -> Tuple[Dict[str, int], List[str]]:
+    """Apply Eq. 10 to every bottleneck vertex of the sequence.
+
+    Returns ``(new_parallelism, unresolvable)`` where ``unresolvable``
+    lists bottleneck vertices that cannot be scaled out further (fully
+    scaled out or non-elastic) — the cases where the paper says the user
+    must be informed.
+    """
+    targets: Dict[str, int] = {}
+    unresolvable: List[str] = []
+    for name in find_bottlenecks(sequence, summary, rho_max):
+        vertex = next(v for v in sequence.vertices if v.name == name)
+        vs = summary.vertex(name)
+        assert vs is not None
+        p = max(1, current_parallelism.get(name, vertex.parallelism))
+        doubled = 2 * p
+        offered = 2.0 * vs.arrival_rate * p * vs.service_mean  # 2·λ·p·S̄
+        desired = max(doubled, math.ceil(offered))
+        target = min(vertex.max_parallelism, desired)
+        if not vertex.elastic or target <= p:
+            unresolvable.append(name)
+            continue
+        targets[name] = target
+    return targets, unresolvable

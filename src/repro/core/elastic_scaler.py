@@ -1,0 +1,108 @@
+"""The Elastic Scaler (master-side driver; paper Sec. IV-B and V).
+
+Consumes each adjustment interval's fresh global summary, runs
+:class:`~repro.core.scale_reactively.ScaleReactivelyPolicy`, and issues
+the resulting scaling actions to the scheduler. Implements the paper's
+post-scale-up *inactivity phase*: after starting new tasks the scaler
+stays inactive for a configurable number of adjustment intervals, because
+fresh tasks need time to show up in the measurement data (and new
+channels initially worsen measured latency). Scale-downs require no
+inactivity phase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
+
+from repro.core.scale_reactively import ScaleReactivelyPolicy, ScalingDecision
+from repro.qos.summary import GlobalSummary
+from repro.simulation.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a package import cycle
+    from repro.engine.runtime import RuntimeGraph
+    from repro.engine.scheduler import Scheduler
+
+
+class ScalingEvent:
+    """One scaler activation, for experiment logs."""
+
+    __slots__ = ("time", "targets", "applied", "reason")
+
+    def __init__(self, time: float, targets: Dict[str, int], applied: Dict[str, int], reason: str) -> None:
+        self.time = time
+        self.targets = targets
+        self.applied = applied
+        self.reason = reason
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ScalingEvent(t={self.time:.1f}, targets={self.targets}, {self.reason})"
+
+
+class ElasticScaler:
+    """Issues scaling actions derived from the latency model."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheduler: "Scheduler",
+        runtime: "RuntimeGraph",
+        policy: ScaleReactivelyPolicy,
+        adjustment_interval: float = 5.0,
+        inactivity_intervals: int = 2,
+    ) -> None:
+        self.sim = sim
+        self.scheduler = scheduler
+        self.runtime = runtime
+        self.policy = policy
+        self.adjustment_interval = adjustment_interval
+        self.inactivity_intervals = inactivity_intervals
+        self._inactive_until = 0.0
+        #: log of scaler activations
+        self.events: List[ScalingEvent] = []
+        #: vertices reported as unresolvable bottlenecks (time, name)
+        self.unresolvable_log: List[Tuple[float, str]] = []
+        #: count of summaries skipped due to the inactivity phase
+        self.skipped_inactive = 0
+
+    @property
+    def inactive(self) -> bool:
+        """Whether the scaler is inside a post-scale-up inactivity phase."""
+        return self.sim.now < self._inactive_until
+
+    def on_global_summary(self, summary: GlobalSummary) -> Optional[ScalingDecision]:
+        """React to a fresh global summary; returns the decision (or None)."""
+        if self.inactive:
+            self.skipped_inactive += 1
+            return None
+        current = {
+            name: rv.target_parallelism for name, rv in self.runtime.vertices.items()
+        }
+        decision = self.policy.decide(summary, current)
+        for name in decision.unresolvable:
+            self.unresolvable_log.append((self.sim.now, name))
+        if not decision.has_actions:
+            return decision
+        from repro.engine.resources import InsufficientResourcesError
+
+        applied: Dict[str, int] = {}
+        scaled_up = False
+        for vertex_name, target in sorted(decision.parallelism.items()):
+            try:
+                delta = self.scheduler.set_parallelism(vertex_name, target)
+            except InsufficientResourcesError:
+                self.unresolvable_log.append((self.sim.now, vertex_name))
+                continue
+            if delta != 0:
+                applied[vertex_name] = delta
+            if delta > 0:
+                scaled_up = True
+        reason = "bottleneck" if decision.bottleneck_constraints else "rebalance"
+        self.events.append(ScalingEvent(self.sim.now, dict(decision.parallelism), applied, reason))
+        if scaled_up:
+            # Inactivity counts from when the new tasks actually start.
+            self._inactive_until = (
+                self.sim.now
+                + self.scheduler.startup_delay
+                + self.inactivity_intervals * self.adjustment_interval
+            )
+        return decision

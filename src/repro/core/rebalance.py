@@ -1,0 +1,197 @@
+"""The Rebalance technique — Algorithm 1 (paper Sec. IV-D).
+
+Given the fitted sequence latency model and a queue-wait budget
+``Ŵ_js``, Rebalance chooses new degrees of parallelism that minimize the
+total parallelism ``Σ p_i*`` subject to ``W_js(p*…) <= Ŵ_js`` and the
+per-vertex bounds, via gradient descent with a variable step size:
+
+* each iteration raises the parallelism of the vertex with the steepest
+  queue-wait decrease ``Δ``;
+* the step size ``P_Δ(c1, Δ_c2)`` jumps straight to the parallelism at
+  which the runner-up vertex ``c2`` becomes the steepest — skipping the
+  intermediate single steps a naive descent would take;
+* when only one vertex can still grow, ``P_W`` closes the residual gap in
+  one step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.latency_model import INFINITY, SequenceLatencyModel, VertexModel
+
+
+class RebalanceResult:
+    """Outcome of one Rebalance invocation."""
+
+    def __init__(
+        self,
+        parallelism: Dict[str, int],
+        feasible: bool,
+        iterations: int,
+        predicted_wait: float,
+    ) -> None:
+        #: chosen degree of parallelism per job-vertex name
+        self.parallelism = parallelism
+        #: whether the budget is satisfiable within the parallelism bounds
+        self.feasible = feasible
+        #: gradient-descent iterations performed
+        self.iterations = iterations
+        #: ``W_js`` predicted at the returned parallelism
+        self.predicted_wait = predicted_wait
+
+    @property
+    def total_parallelism(self) -> int:
+        """Objective value ``F = Σ p_i*`` over the scalable vertices."""
+        return sum(self.parallelism.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"RebalanceResult({self.parallelism}, feasible={self.feasible}, "
+            f"W={self.predicted_wait:.6f}, iters={self.iterations})"
+        )
+
+
+def rebalance(
+    model: SequenceLatencyModel,
+    wait_limit: float,
+    min_parallelism: Optional[Dict[str, int]] = None,
+    max_iterations: int = 100_000,
+) -> RebalanceResult:
+    """Run Algorithm 1 on a fitted sequence model.
+
+    Parameters
+    ----------
+    model:
+        The sequence latency model (fixed vertices contribute constant
+        wait terms and are never rescaled).
+    wait_limit:
+        The budget ``Ŵ_js``.
+    min_parallelism:
+        The paper's ``P_min``: per-vertex lower bounds carried over from
+        earlier Rebalance invocations on overlapping constraints.
+    max_iterations:
+        Safety valve; Algorithm 1 terminates long before this in practice.
+
+    Returns
+    -------
+    RebalanceResult
+        With ``feasible=False`` when even maximum scale-out cannot meet
+        the budget — in that case the returned parallelism is the maximum
+        scale-out (best effort), matching the engine's "inform the user,
+        keep trying" stance.
+    """
+    overrides = min_parallelism or {}
+    scalable: List[VertexModel] = model.scalable_models()
+    if not scalable:
+        wait = model.total_waiting_time({})
+        return RebalanceResult({}, wait <= wait_limit, 0, wait)
+
+    # Feasibility test at maximum scale-out (Algorithm 1, lines 1-2).
+    p: Dict[str, int] = {m.name: m.p_max for m in scalable}
+    max_wait = model.total_waiting_time(p)
+    if max_wait > wait_limit:
+        return RebalanceResult(dict(p), False, 0, max_wait)
+
+    # Start from the minimum scale-out, honouring P_min (line 3).
+    for m in scalable:
+        p[m.name] = _clamp(m, max(m.p_min, overrides.get(m.name, m.p_min)))
+
+    iterations = 0
+    while True:
+        wait = model.total_waiting_time(p)
+        if wait <= wait_limit:
+            break
+        iterations += 1
+        if iterations > max_iterations:
+            raise RuntimeError(
+                f"rebalance failed to converge after {max_iterations} iterations "
+                f"(sequence {model.sequence_name!r})"
+            )
+        candidates = [m for m in scalable if p[m.name] < m.p_max]
+        if not candidates:
+            # Cannot happen if the feasibility test passed, but guard
+            # against floating-point edge cases.
+            break
+        deltas = [(m.marginal_gain(p[m.name]), i) for i, m in enumerate(candidates)]
+        deltas.sort()
+        best_delta, best_index = deltas[0]
+        c1 = candidates[best_index]
+        if len(candidates) > 1:
+            runner_delta, _ = deltas[1]
+            target = _step_target(c1, p[c1.name], runner_delta)
+            p[c1.name] = _clamp(c1, max(target, p[c1.name] + 1))
+        else:
+            # Sum the *other* vertices' waits directly: subtracting
+            # c1's wait from the total would be inf - inf when both are
+            # unstable.
+            others = 0.0
+            for m in model.models:
+                if m is c1:
+                    continue
+                others += m.waiting_time(p.get(m.name, m.p_current))
+            if others == INFINITY:
+                # A fixed vertex is unstable: no amount of scaling c1 helps.
+                p[c1.name] = c1.p_max
+                break
+            available = wait_limit - others
+            if available <= 0:
+                p[c1.name] = c1.p_max
+            else:
+                p[c1.name] = _clamp(c1, max(c1.p_for_wait(available), p[c1.name] + 1))
+
+    final_wait = model.total_waiting_time(p)
+    return RebalanceResult(dict(p), final_wait <= wait_limit, iterations, final_wait)
+
+
+def _step_target(model: VertexModel, p_current: int, runner_delta: float) -> int:
+    """The variable step ``P_Δ(c1, Δ_c2)`` with degenerate-input handling."""
+    if runner_delta == -INFINITY:
+        # The runner-up is itself unstable; just restore c1's stability.
+        return max(p_current + 1, model.min_stable_parallelism())
+    if runner_delta == 0.0:
+        # The runner-up gains nothing; c1 should close the gap alone next
+        # round — advance minimally to re-evaluate.
+        return p_current + 1
+    return model.p_for_marginal(runner_delta)
+
+
+def _clamp(model: VertexModel, p: int) -> int:
+    return max(model.p_min, min(model.p_max, p))
+
+
+def brute_force_minimum(
+    model: SequenceLatencyModel,
+    wait_limit: float,
+    min_parallelism: Optional[Dict[str, int]] = None,
+) -> Optional[Tuple[int, Dict[str, int]]]:
+    """Exhaustive reference solver (tests only; exponential in vertices).
+
+    Returns ``(total, assignment)`` of a minimum-total feasible assignment
+    or ``None`` when infeasible. Used by the property-based tests to
+    check Rebalance's solutions for feasibility and near-optimality.
+    """
+    overrides = min_parallelism or {}
+    scalable = model.scalable_models()
+    if not scalable:
+        wait = model.total_waiting_time({})
+        return (0, {}) if wait <= wait_limit else None
+    best: Optional[Tuple[int, Dict[str, int]]] = None
+
+    def recurse(index: int, assignment: Dict[str, int]) -> None:
+        nonlocal best
+        if index == len(scalable):
+            if model.total_waiting_time(assignment) <= wait_limit:
+                total = sum(assignment.values())
+                if best is None or total < best[0]:
+                    best = (total, dict(assignment))
+            return
+        m = scalable[index]
+        low = max(m.p_min, overrides.get(m.name, m.p_min))
+        for candidate in range(low, m.p_max + 1):
+            assignment[m.name] = candidate
+            recurse(index + 1, assignment)
+        del assignment[m.name]
+
+    recurse(0, {})
+    return best

@@ -1,0 +1,123 @@
+"""ScaleReactively — Algorithm 2 (paper Sec. IV-F).
+
+The per-adjustment-interval driver: for every latency constraint it
+either applies ResolveBottlenecks (when the sequence has a bottleneck) or
+Rebalance with the queue-wait budget
+
+    Ŵ_js = w_fraction · (ℓ − Σ_{jv ∈ V(js)} l_jv),
+
+where ``w_fraction`` defaults to the paper's 20 % (the remaining 80 % of
+the slack is reserved for adaptive output batching). Parallelism choices
+from multiple constraints are merged with an element-wise maximum, and
+``P_min`` forwards earlier choices into later Rebalance invocations so
+they are never undercut.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.bottlenecks import find_bottlenecks, resolve_bottlenecks
+from repro.core.constraints import LatencyConstraint
+from repro.core.latency_model import build_sequence_model
+from repro.core.rebalance import rebalance
+from repro.qos.summary import GlobalSummary
+
+
+class ScalingDecision:
+    """Result of one ScaleReactively evaluation."""
+
+    def __init__(self) -> None:
+        #: merged target parallelism per vertex name
+        self.parallelism: Dict[str, int] = {}
+        #: constraints handled via ResolveBottlenecks this round
+        self.bottleneck_constraints: List[str] = []
+        #: constraints whose budget is unattainable even at max scale-out
+        self.infeasible_constraints: List[str] = []
+        #: bottleneck vertices that could not be scaled out further
+        self.unresolvable: List[str] = []
+        #: constraints skipped for lack of measurements
+        self.skipped_constraints: List[str] = []
+
+    @property
+    def has_actions(self) -> bool:
+        """Whether any parallelism target was produced."""
+        return bool(self.parallelism)
+
+    def merge_max(self, targets: Dict[str, int]) -> None:
+        """Merge targets with element-wise max (Algorithm 2, line 10)."""
+        for name, p in targets.items():
+            self.parallelism[name] = max(self.parallelism.get(name, 0), p)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScalingDecision({self.parallelism}, "
+            f"bottlenecks={self.bottleneck_constraints}, "
+            f"infeasible={self.infeasible_constraints})"
+        )
+
+
+class ScaleReactivelyPolicy:
+    """Algorithm 2 over a fixed set of latency constraints."""
+
+    def __init__(
+        self,
+        constraints: List[LatencyConstraint],
+        w_fraction: float = 0.2,
+        rho_max: float = 0.9,
+        e_bounds: Tuple[float, float] = (0.05, 200.0),
+    ) -> None:
+        if not 0.0 < w_fraction <= 1.0:
+            raise ValueError(f"w_fraction must be in (0, 1] (got {w_fraction})")
+        self.constraints = list(constraints)
+        self.w_fraction = w_fraction
+        self.rho_max = rho_max
+        self.e_bounds = e_bounds
+
+    def decide(
+        self,
+        summary: GlobalSummary,
+        current_parallelism: Dict[str, int],
+    ) -> ScalingDecision:
+        """Evaluate all constraints against a fresh global summary.
+
+        ``current_parallelism`` maps vertex names to their effective
+        degrees of parallelism (the scaler passes target parallelism so
+        pending scale-ups are not re-issued).
+        """
+        decision = ScalingDecision()
+        for constraint in self.constraints:
+            sequence = constraint.sequence
+            bottlenecks = find_bottlenecks(sequence, summary, self.rho_max)
+            if bottlenecks:
+                targets, unresolvable = resolve_bottlenecks(
+                    sequence, summary, current_parallelism, self.rho_max
+                )
+                decision.bottleneck_constraints.append(constraint.name)
+                decision.unresolvable.extend(unresolvable)
+                decision.merge_max(targets)
+                continue
+            model = build_sequence_model(
+                sequence, summary, current_parallelism, self.e_bounds
+            )
+            if model is None:
+                decision.skipped_constraints.append(constraint.name)
+                continue
+            budget = self.w_fraction * (constraint.bound - constraint.task_latency_sum(summary))
+            if budget <= 0:
+                # Task latencies alone exceed the bound: scaling queue
+                # waits to zero cannot save this constraint. Best effort:
+                # maximum scale-out on its scalable vertices.
+                decision.infeasible_constraints.append(constraint.name)
+                decision.merge_max({m.name: m.p_max for m in model.scalable_models()})
+                continue
+            p_min = {
+                name: p
+                for name, p in decision.parallelism.items()
+                if name in set(sequence.vertex_names())
+            }
+            result = rebalance(model, budget, p_min)
+            if not result.feasible:
+                decision.infeasible_constraints.append(constraint.name)
+            decision.merge_max(result.parallelism)
+        return decision

@@ -1,0 +1,83 @@
+"""The simulated Nephele-style stream processing engine (substrate).
+
+This subpackage implements the execution engine the paper's strategy runs
+on: a master/worker SPE whose runtime graph consists of tasks (single-
+server queueing stations executing UDFs) connected by channels (output
+buffers with a pluggable batching strategy, a network delay model and
+credit-based backpressure), placed in CPU slots of leased worker nodes.
+
+The facade is :class:`StreamProcessingEngine` configured by
+:class:`EngineConfig`; preset configurations mirror the paper's four
+motivation configurations (Storm, Nephele-IF, Nephele-16KiB,
+Nephele-<deadline>).
+"""
+
+from repro.engine.items import DataItem
+from repro.engine.udf import (
+    UDF,
+    SourceUDF,
+    MapUDF,
+    FilterUDF,
+    FlatMapUDF,
+    WindowedAggregateUDF,
+    SinkUDF,
+)
+from repro.engine.operators import (
+    KeyedAggregateUDF,
+    RateEstimatorUDF,
+    SampleUDF,
+    UnionTagUDF,
+    tumbling_count,
+    tumbling_mean,
+    tumbling_sum,
+    tumbling_top_k,
+)
+from repro.engine.queues import BoundedQueue
+from repro.engine.batching import (
+    BatchingStrategy,
+    InstantFlush,
+    FixedSizeBatching,
+    AdaptiveDeadlineBatching,
+)
+from repro.engine.channel import RuntimeChannel, NetworkModel
+from repro.engine.task import RuntimeTask
+from repro.engine.worker import WorkerNode
+from repro.engine.resources import ResourceManager, InsufficientResourcesError
+from repro.engine.runtime import RuntimeGraph, RuntimeVertex
+from repro.engine.scheduler import Scheduler
+from repro.engine.engine import EngineConfig, StreamProcessingEngine
+
+__all__ = [
+    "DataItem",
+    "UDF",
+    "SourceUDF",
+    "MapUDF",
+    "FilterUDF",
+    "FlatMapUDF",
+    "WindowedAggregateUDF",
+    "SinkUDF",
+    "BoundedQueue",
+    "KeyedAggregateUDF",
+    "RateEstimatorUDF",
+    "SampleUDF",
+    "UnionTagUDF",
+    "tumbling_count",
+    "tumbling_mean",
+    "tumbling_sum",
+    "tumbling_top_k",
+    "BatchingStrategy",
+    "InstantFlush",
+    "FixedSizeBatching",
+    "AdaptiveDeadlineBatching",
+    "RuntimeChannel",
+    "NetworkModel",
+    "RuntimeTask",
+    "WorkerNode",
+    "ResourceManager",
+    "InsufficientResourcesError",
+    "RuntimeGraph",
+    "RuntimeVertex",
+    "Scheduler",
+    "EngineConfig",
+    "StreamProcessingEngine",
+]

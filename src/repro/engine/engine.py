@@ -1,0 +1,478 @@
+"""Engine facade: configuration presets and the master-node control loop.
+
+:class:`EngineConfig` bundles every tunable of the simulated SPE; its
+presets mirror the paper's four motivation configurations (Sec. III-B):
+``storm_like``, ``nephele_instant_flush``, ``nephele_fixed_buffer`` and
+``nephele_adaptive`` (the latter optionally *elastic*, i.e. running the
+paper's reactive scaling strategy).
+
+:class:`StreamProcessingEngine` wires everything together: it deploys a
+job graph, attaches QoS reporters/managers, and runs the master's control
+loop — measurement ticks (reporter → manager), adjustment ticks (partial
+summaries → global summary → constraint tracking → adaptive batching →
+elastic scaler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.batching_policy import AdaptiveBatchingPolicy
+from repro.core.constraints import ConstraintTracker, LatencyConstraint
+from repro.core.elastic_scaler import ElasticScaler
+from repro.core.scale_reactively import ScaleReactivelyPolicy
+from repro.engine.batching import (
+    AdaptiveDeadlineBatching,
+    BatchingStrategy,
+    FixedSizeBatching,
+    InstantFlush,
+)
+from repro.engine.channel import NetworkModel, RuntimeChannel
+from repro.engine.resources import ResourceManager
+from repro.engine.runtime import RuntimeGraph
+from repro.engine.scheduler import Scheduler
+from repro.engine.task import RuntimeTask
+from repro.graphs.job_graph import JobGraph
+from repro.qos.manager import QoSManager
+from repro.qos.reporter import ChannelReporter, TaskReporter
+from repro.qos.summary import GlobalSummary, merge_partial_summaries
+from repro.simulation.kernel import Simulator
+from repro.simulation.randomness import RandomStreams
+
+
+@dataclass
+class EngineConfig:
+    """All tunables of the simulated engine in one place."""
+
+    #: output-batching strategy prototype, cloned per channel
+    batching: BatchingStrategy = field(default_factory=InstantFlush)
+    #: per-batch network latency model and shipping overheads
+    base_latency: float = 0.0005
+    bandwidth: float = 125_000_000.0
+    per_batch_overhead: float = 0.00004
+    per_item_overhead: float = 0.000002
+    #: one-off first-transfer latency per channel (TCP setup; 0 = off)
+    connection_setup: float = 0.0
+    #: bounded input queue capacity per task (items)
+    queue_capacity: int = 256
+    #: per-channel outstanding-item capacity (credit limit)
+    channel_capacity: int = 256
+    #: serialized item size in bytes
+    item_size: int = 256
+    #: QoS measurement interval (paper: 1 s)
+    measurement_interval: float = 1.0
+    #: master adjustment interval (paper: 5 s)
+    adjustment_interval: float = 5.0
+    #: sliding window of past measurements pooled into summaries (Eq. 2)
+    summary_window: int = 5
+    #: number of QoS managers the tasks/channels are partitioned over
+    qos_managers: int = 4
+    #: whether the elastic scaler runs (the paper's strategy)
+    elastic: bool = False
+    #: queue-wait share of the constraint slack (paper: 20 %)
+    w_fraction: float = 0.2
+    #: bottleneck utilization threshold (a value close to 1)
+    rho_max: float = 0.9
+    #: adjustment intervals of post-scale-up inactivity (paper: 2)
+    inactivity_intervals: int = 2
+    #: task startup delay in seconds (paper: 1-2 s)
+    startup_delay: float = 1.5
+    #: clamp for the fitting coefficient e_jv
+    e_bounds: Tuple[float, float] = (0.05, 200.0)
+    #: adaptive-batching share of the slack (paper: 80 %)
+    batch_fraction: float = 0.8
+    #: converts mean-obl budget into a flush deadline (at low per-gate
+    #: rates most batches are single items that wait the full deadline,
+    #: so the factor stays slightly below 1)
+    deadline_factor: float = 0.9
+    #: cluster size (paper: 130 workers x 4 cores)
+    worker_pool: int = 130
+    slots_per_worker: int = 4
+    #: task placement strategy: "pack" or "spread"
+    placement: str = "pack"
+    #: per-worker CPU speed factors, cycled over leased workers; the
+    #: default (None) keeps the paper's homogeneity assumption — pass
+    #: e.g. (1.0, 1.0, 1.0, 0.5) to inject hot-spot workers
+    worker_speed_factors: Optional[Tuple[float, ...]] = None
+    #: root RNG seed for reproducibility
+    seed: int = 7
+
+    # ------------------------------------------------------------------
+    # presets mirroring the paper's configurations (Sec. III-B)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def storm_like(cls, **overrides) -> "EngineConfig":
+        """Apache-Storm-style: instant flushing, slightly higher overheads."""
+        config = cls(batching=InstantFlush())
+        config.per_batch_overhead = 0.00005
+        return replace(config, **overrides)
+
+    @classmethod
+    def nephele_instant_flush(cls, **overrides) -> "EngineConfig":
+        """Nephele-IF: instant flushing."""
+        return replace(cls(batching=InstantFlush()), **overrides)
+
+    @classmethod
+    def nephele_fixed_buffer(cls, buffer_bytes: int = 16 * 1024, **overrides) -> "EngineConfig":
+        """Nephele-16KiB: fixed output buffers, throughput-optimized."""
+        return replace(cls(batching=FixedSizeBatching(buffer_bytes)), **overrides)
+
+    @classmethod
+    def nephele_adaptive(cls, elastic: bool = False, **overrides) -> "EngineConfig":
+        """Nephele-<ℓ>ms: adaptive output batching, optionally elastic."""
+        config = cls(batching=AdaptiveDeadlineBatching(), elastic=elastic)
+        return replace(config, **overrides)
+
+
+class DeployedJob:
+    """One deployed job's full state: runtime graph, QoS plumbing, scaler.
+
+    Several jobs may share one engine (and hence one worker pool) — the
+    elasticity story's natural setting: no job needs permanent peak
+    provisioning, so the pool is shared and leased on demand.
+    """
+
+    _ids = 0
+
+    def __init__(
+        self,
+        engine: "StreamProcessingEngine",
+        job_graph: JobGraph,
+        constraints: Sequence[LatencyConstraint],
+        vertex_probes: Dict[str, Callable[[float, object], None]],
+    ) -> None:
+        DeployedJob._ids += 1
+        self.job_id = DeployedJob._ids
+        self.engine = engine
+        self.job_graph = job_graph
+        config = engine.config
+        self.constraints: List[LatencyConstraint] = list(constraints)
+        self.trackers: List[ConstraintTracker] = [ConstraintTracker(c) for c in self.constraints]
+        self.runtime = RuntimeGraph(job_graph)
+        self._managers: List[QoSManager] = [
+            QoSManager(i, config.summary_window) for i in range(config.qos_managers)
+        ]
+        self._next_manager = 0
+        self._vertex_probes = dict(vertex_probes)
+        self._sink_samples: Dict[str, List[Tuple[float, float]]] = {}
+        #: latest merged global summary (refreshed every adjustment interval)
+        self.last_summary: Optional[GlobalSummary] = None
+        #: full history of (timestamp, GlobalSummary)
+        self.summary_history: List[Tuple[float, GlobalSummary]] = []
+        self._batching_policy: Optional[AdaptiveBatchingPolicy] = None
+        if self.constraints and isinstance(config.batching, AdaptiveDeadlineBatching):
+            self._batching_policy = AdaptiveBatchingPolicy(
+                self.constraints,
+                batch_fraction=config.batch_fraction,
+                deadline_factor=config.deadline_factor,
+            )
+        # The first job uses the engine's root streams directly (keeps
+        # single-job runs bit-identical to pre-multi-job behaviour);
+        # later jobs fork independent streams.
+        job_index = len(engine.jobs)
+        job_streams = engine.streams if job_index == 0 else engine.streams.fork(job_index)
+        self.scheduler = Scheduler(
+            engine.sim,
+            self.runtime,
+            engine.resources,
+            job_streams,
+            batching_prototype=config.batching,
+            network=engine.network,
+            queue_capacity=config.queue_capacity,
+            channel_capacity=config.channel_capacity,
+            item_size=config.item_size,
+            startup_delay=config.startup_delay,
+            on_task_created=self._on_task_created,
+            on_channel_created=self._on_channel_created,
+        )
+        self.scaler: Optional[ElasticScaler] = None
+        if config.elastic and self.constraints:
+            policy = ScaleReactivelyPolicy(
+                self.constraints,
+                w_fraction=config.w_fraction,
+                rho_max=config.rho_max,
+                e_bounds=config.e_bounds,
+            )
+            self.scaler = ElasticScaler(
+                engine.sim,
+                self.scheduler,
+                self.runtime,
+                policy,
+                adjustment_interval=config.adjustment_interval,
+                inactivity_intervals=config.inactivity_intervals,
+            )
+        self.scheduler.deploy()
+        # Measurement ticks strictly precede the adjustment tick sharing
+        # the same instant (epsilon offset keeps the ordering stable
+        # across periodic re-scheduling).
+        self._measurement_process = engine.sim.every(
+            config.measurement_interval, self._measurement_tick
+        )
+        self._adjustment_process = engine.sim.every(
+            config.adjustment_interval,
+            self._adjustment_tick,
+            start_delay=config.adjustment_interval + 1e-6,
+        )
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # wiring hooks
+    # ------------------------------------------------------------------
+
+    def _on_task_created(self, task: RuntimeTask) -> None:
+        reporter = TaskReporter(task.vertex_name, task.task_id)
+        task.reporter = reporter
+        self._pick_manager().attach_task(task, reporter)
+        job_vertex = self.job_graph.vertices[task.vertex_name]
+        if not job_vertex.outputs:
+            samples = self._sink_samples.setdefault(task.vertex_name, [])
+            task.process_probe = lambda latency, payload, s=samples: s.append(
+                (self.engine.sim.now, latency)
+            )
+        extra = self._vertex_probes.get(task.vertex_name)
+        if extra is not None:
+            previous = task.process_probe
+            if previous is None:
+                task.process_probe = extra
+            else:
+                def chained(latency, payload, first=previous, second=extra):
+                    first(latency, payload)
+                    second(latency, payload)
+
+                task.process_probe = chained
+
+    def _on_channel_created(self, channel: RuntimeChannel) -> None:
+        reporter = ChannelReporter(channel.edge_name, channel.channel_id)
+        channel.reporter = reporter
+        self._pick_manager().attach_channel(channel, reporter)
+
+    def _pick_manager(self) -> QoSManager:
+        manager = self._managers[self._next_manager % len(self._managers)]
+        self._next_manager += 1
+        return manager
+
+    # ------------------------------------------------------------------
+    # master control loop
+    # ------------------------------------------------------------------
+
+    def _measurement_tick(self) -> None:
+        now = self.engine.sim.now
+        for manager in self._managers:
+            manager.collect(now)
+
+    def _adjustment_tick(self) -> None:
+        now = self.engine.sim.now
+        partials = [m.partial_summary(now) for m in self._managers]
+        summary = merge_partial_summaries(now, partials)
+        self.last_summary = summary
+        self.summary_history.append((now, summary))
+        for tracker in self.trackers:
+            tracker.observe(now, summary)
+        if self._batching_policy is not None:
+            targets = self._batching_policy.compute_targets(summary)
+            for manager in self._managers:
+                manager.apply_batching_deadlines(targets)
+        if self.scaler is not None:
+            self.scaler.on_global_summary(summary)
+
+    # ------------------------------------------------------------------
+    # results and lifecycle
+    # ------------------------------------------------------------------
+
+    def parallelism(self, vertex_name: str) -> int:
+        """Effective parallelism of a job vertex."""
+        return self.runtime.parallelism(vertex_name)
+
+    def drain_sink_samples(self, vertex_name: str) -> List[Tuple[float, float]]:
+        """Take the (time, e2e latency) samples of a sink vertex.
+
+        The backing list is cleared in place — sink-task probes hold a
+        reference to it, so it must never be replaced.
+        """
+        samples = self._sink_samples.get(vertex_name)
+        if samples is None:
+            return []
+        drained = list(samples)
+        samples.clear()
+        return drained
+
+    def tracker_for(self, constraint: LatencyConstraint) -> ConstraintTracker:
+        """The fulfillment tracker of one of this job's constraints."""
+        for tracker in self.trackers:
+            if tracker.constraint is constraint:
+                return tracker
+        raise KeyError(f"constraint {constraint.name!r} not submitted with this job")
+
+    def check_assumptions(self, **checker_kwargs) -> list:
+        """Check the paper's Sec. IV-A runtime assumptions for this job."""
+        from repro.qos.diagnostics import AssumptionChecker, collect_per_task_measurements
+
+        service, arrivals = collect_per_task_measurements(self._managers)
+        return AssumptionChecker(**checker_kwargs).check(service, arrivals)
+
+    def stop(self) -> None:
+        """Tear this job down (releases its slots, stops its control loop)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._measurement_process.stop()
+        self._adjustment_process.stop()
+        self.scheduler.stop_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DeployedJob(#{self.job_id}, {self.job_graph.name!r})"
+
+
+class StreamProcessingEngine:
+    """Facade: deploy jobs, run the master control loop, expose results.
+
+    Multiple jobs may be submitted to one engine; they share the worker
+    pool (and the simulated cluster). For convenience, the single-job
+    accessors (``runtime``, ``scheduler``, ``trackers``, ...) delegate to
+    the *first* submitted job; use the :class:`DeployedJob` handle
+    returned by :meth:`submit` to address later jobs explicitly.
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+        self.config = config or EngineConfig()
+        self.sim = Simulator()
+        self.streams = RandomStreams(self.config.seed)
+        self.network = NetworkModel(
+            base_latency=self.config.base_latency,
+            bandwidth=self.config.bandwidth,
+            per_batch_overhead=self.config.per_batch_overhead,
+            per_item_overhead=self.config.per_item_overhead,
+            connection_setup=self.config.connection_setup,
+        )
+        self.resources = ResourceManager(
+            self.sim,
+            self.config.worker_pool,
+            self.config.slots_per_worker,
+            placement=self.config.placement,
+            speed_factors=(
+                list(self.config.worker_speed_factors)
+                if self.config.worker_speed_factors
+                else None
+            ),
+        )
+        #: all deployed jobs, in submission order
+        self.jobs: List[DeployedJob] = []
+        #: probes to install on the next submitted job's vertices
+        self._pending_probes: Dict[str, Callable[[float, object], None]] = {}
+
+    # ------------------------------------------------------------------
+    # deployment
+    # ------------------------------------------------------------------
+
+    def add_vertex_probe(self, vertex_name: str, probe: Callable[[float, object], None]) -> None:
+        """Install a probe fired with (elapsed, payload) per processed item.
+
+        Applies to the *next* :meth:`submit` call, so every task of the
+        vertex (including later scale-ups) carries the probe.
+        """
+        self._pending_probes[vertex_name] = probe
+
+    def submit(
+        self,
+        job_graph: JobGraph,
+        constraints: Sequence[LatencyConstraint] = (),
+    ) -> DeployedJob:
+        """Deploy ``job_graph`` and start its master control loop."""
+        for job in self.jobs:
+            if job.job_graph is job_graph:
+                raise RuntimeError("this job graph is already deployed")
+        job_graph.validate()
+        probes, self._pending_probes = self._pending_probes, {}
+        job = DeployedJob(self, job_graph, constraints, probes)
+        self.jobs.append(job)
+        return job
+
+    # ------------------------------------------------------------------
+    # single-job conveniences (delegate to the first job)
+    # ------------------------------------------------------------------
+
+    def _primary(self) -> DeployedJob:
+        if not self.jobs:
+            raise RuntimeError("no job submitted to this engine yet")
+        return self.jobs[0]
+
+    @property
+    def runtime(self) -> Optional[RuntimeGraph]:
+        """Runtime graph of the first job (None before submit)."""
+        return self.jobs[0].runtime if self.jobs else None
+
+    @property
+    def scheduler(self) -> Optional[Scheduler]:
+        """Scheduler of the first job (None before submit)."""
+        return self.jobs[0].scheduler if self.jobs else None
+
+    @property
+    def scaler(self) -> Optional[ElasticScaler]:
+        """Elastic scaler of the first job (None if unelastic)."""
+        return self.jobs[0].scaler if self.jobs else None
+
+    @property
+    def constraints(self) -> List[LatencyConstraint]:
+        """Constraints of the first job."""
+        return self.jobs[0].constraints if self.jobs else []
+
+    @property
+    def trackers(self) -> List[ConstraintTracker]:
+        """Constraint trackers of the first job."""
+        return self.jobs[0].trackers if self.jobs else []
+
+    @property
+    def last_summary(self) -> Optional[GlobalSummary]:
+        """Latest global summary of the first job."""
+        return self.jobs[0].last_summary if self.jobs else None
+
+    @property
+    def summary_history(self) -> List[Tuple[float, GlobalSummary]]:
+        """Summary history of the first job."""
+        return self.jobs[0].summary_history if self.jobs else []
+
+    @property
+    def _managers(self) -> List[QoSManager]:
+        return self.jobs[0]._managers if self.jobs else []
+
+    def parallelism(self, vertex_name: str) -> int:
+        """Effective parallelism of a vertex of the first job."""
+        return self._primary().parallelism(vertex_name)
+
+    def drain_sink_samples(self, vertex_name: str) -> List[Tuple[float, float]]:
+        """Take the first job's (time, e2e latency) sink samples."""
+        if not self.jobs:
+            return []
+        return self.jobs[0].drain_sink_samples(vertex_name)
+
+    def check_assumptions(self, **checker_kwargs) -> list:
+        """Check the Sec. IV-A runtime assumptions for the first job."""
+        return self._primary().check_assumptions(**checker_kwargs)
+
+    def tracker_for(self, constraint: LatencyConstraint) -> ConstraintTracker:
+        """The fulfillment tracker of a submitted constraint (any job)."""
+        for job in self.jobs:
+            for tracker in job.trackers:
+                if tracker.constraint is constraint:
+                    return tracker
+        raise KeyError(f"constraint {constraint.name!r} not submitted to this engine")
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` virtual seconds."""
+        self.sim.run(until=self.sim.now + duration)
+
+    def stop(self) -> None:
+        """Tear all jobs down (finalizes resource accounting)."""
+        for job in self.jobs:
+            job.stop()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.sim.now

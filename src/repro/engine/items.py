@@ -1,0 +1,46 @@
+"""Data items flowing through the runtime graph.
+
+A :class:`DataItem` wraps a payload with the timestamps the measurement
+architecture needs: ``created_at`` (set once, at the source, for
+end-to-end ground truth) and ``emitted_at`` (set per hop when the item is
+written into a channel's output buffer, used for channel and output-batch
+latency). Items are cloned per target channel so per-hop timestamps never
+alias across broadcast copies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class DataItem:
+    """One data item in flight on a single channel hop."""
+
+    __slots__ = ("payload", "created_at", "size", "emitted_at", "enqueued_at", "sampled")
+
+    def __init__(
+        self,
+        payload: object,
+        created_at: float,
+        size: int = 256,
+        sampled: bool = True,
+    ) -> None:
+        self.payload = payload
+        #: virtual time the item was first emitted by a source task
+        self.created_at = created_at
+        #: serialized size in bytes (drives buffer fill and network time)
+        self.size = size
+        #: virtual time the item was written into the current channel's
+        #: output buffer (per-hop, reset by :meth:`hop_copy`)
+        self.emitted_at: Optional[float] = None
+        #: virtual time the item entered the consumer's input queue
+        self.enqueued_at: Optional[float] = None
+        #: whether this item participates in latency sampling
+        self.sampled = sampled
+
+    def hop_copy(self) -> "DataItem":
+        """Clone for the next hop, preserving provenance fields only."""
+        return DataItem(self.payload, self.created_at, self.size, self.sampled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DataItem(created_at={self.created_at:.6f}, size={self.size})"

@@ -1,0 +1,168 @@
+"""Cluster resource management: leasing workers and accounting.
+
+The paper's Nephele scheduler "interfaces with Nephele's own resource
+manager that leases and releases worker nodes as required"; this module
+plays that role. It also keeps the resource-consumption metrics the
+evaluation reports: *task hours* (integral of running tasks over time)
+and *worker hours* (integral of leased workers over time).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.engine.worker import WorkerNode
+from repro.simulation.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.task import RuntimeTask
+
+
+class InsufficientResourcesError(RuntimeError):
+    """Raised when the worker pool cannot satisfy a slot request.
+
+    The paper's prescription for this case (Sec. IV-E) is to inform the
+    user; the elastic scaler catches this error and records an
+    "unresolvable" event instead of crashing the job.
+    """
+
+
+#: placement strategies for :class:`ResourceManager`
+PLACEMENT_PACK = "pack"
+PLACEMENT_SPREAD = "spread"
+
+
+class ResourceManager:
+    """Leases workers from a bounded pool and accounts usage over time.
+
+    ``placement`` selects where new tasks land:
+
+    * ``"pack"`` (default) — fill the first leased worker with a free
+      slot; minimizes the number of leased workers (and worker-hours);
+    * ``"spread"`` — place on the leased worker with the most free
+      slots, leasing a new worker once every leased one is at least
+      half full; trades worker-hours for less per-node co-location.
+
+    Operator placement is orthogonal to the paper's strategy (Sec. VI);
+    both strategies satisfy its homogeneity assumption.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pool_size: int = 130,
+        slots_per_worker: int = 4,
+        placement: str = PLACEMENT_PACK,
+        speed_factors: Optional[List[float]] = None,
+    ) -> None:
+        if pool_size < 1 or slots_per_worker < 1:
+            raise ValueError("pool_size and slots_per_worker must be >= 1")
+        if placement not in (PLACEMENT_PACK, PLACEMENT_SPREAD):
+            raise ValueError(f"unknown placement strategy {placement!r}")
+        self.sim = sim
+        self.pool_size = pool_size
+        self.slots_per_worker = slots_per_worker
+        self.placement = placement
+        #: per-worker CPU speed factors (cycled); default: homogeneous
+        self.speed_factors = list(speed_factors) if speed_factors else [1.0]
+        if any(f <= 0 for f in self.speed_factors):
+            raise ValueError("speed factors must be > 0")
+        self._workers: List[WorkerNode] = []
+        self._task_worker: Dict[int, WorkerNode] = {}
+        self._next_worker_id = 0
+        # usage integrals
+        self._task_seconds = 0.0
+        self._worker_seconds = 0.0
+        self._last_change = 0.0
+        self._active_tasks = 0
+
+    @property
+    def total_slots(self) -> int:
+        """Slot capacity of the whole pool."""
+        return self.pool_size * self.slots_per_worker
+
+    @property
+    def leased_workers(self) -> int:
+        """Currently leased (non-empty or reserved) workers."""
+        return len(self._workers)
+
+    @property
+    def active_tasks(self) -> int:
+        """Tasks currently holding a slot."""
+        return self._active_tasks
+
+    def _advance_clock(self) -> None:
+        now = self.sim.now
+        elapsed = now - self._last_change
+        if elapsed > 0:
+            self._task_seconds += self._active_tasks * elapsed
+            self._worker_seconds += len(self._workers) * elapsed
+            self._last_change = now
+
+    def allocate_slot(self, task: "RuntimeTask") -> WorkerNode:
+        """Place ``task`` on a worker, leasing a new one if needed."""
+        self._advance_clock()
+        worker = self._find_free_worker()
+        if worker is None:
+            if len(self._workers) >= self.pool_size:
+                raise InsufficientResourcesError(
+                    f"worker pool exhausted ({self.pool_size} workers, "
+                    f"{self.total_slots} slots)"
+                )
+            speed = self.speed_factors[self._next_worker_id % len(self.speed_factors)]
+            worker = WorkerNode(self._next_worker_id, self.slots_per_worker, speed)
+            self._next_worker_id += 1
+            self._workers.append(worker)
+        worker.assign(task)
+        self._task_worker[task.uid] = worker
+        self._active_tasks += 1
+        if hasattr(task, "speed_factor"):
+            task.speed_factor = worker.speed_factor
+        return worker
+
+    def free_slots_available(self) -> int:
+        """Total slots that could still be allocated without error."""
+        free = sum(w.free_slots for w in self._workers)
+        free += (self.pool_size - len(self._workers)) * self.slots_per_worker
+        return free
+
+    def _find_free_worker(self) -> Optional[WorkerNode]:
+        candidates = [w for w in self._workers if w.free_slots > 0]
+        if not candidates:
+            return None
+        if self.placement == PLACEMENT_SPREAD:
+            best = max(candidates, key=lambda w: w.free_slots)
+            # Lease a fresh worker instead once everything is half full.
+            if (
+                best.free_slots < (self.slots_per_worker + 1) // 2
+                and len(self._workers) < self.pool_size
+            ):
+                return None
+            return best
+        return candidates[0]
+
+    def release_slot(self, task: "RuntimeTask") -> None:
+        """Free the slot held by ``task``; empty workers are released."""
+        self._advance_clock()
+        worker = self._task_worker.pop(task.uid, None)
+        if worker is None:
+            raise KeyError(f"task {task.task_id} holds no slot")
+        worker.release(task)
+        self._active_tasks -= 1
+        if worker.is_empty:
+            self._workers.remove(worker)
+
+    def task_hours(self) -> float:
+        """Task-hours consumed so far (paper's resource metric, Fig. 6)."""
+        self._advance_clock()
+        return self._task_seconds / 3600.0
+
+    def worker_hours(self) -> float:
+        """Worker-hours consumed so far."""
+        self._advance_clock()
+        return self._worker_seconds / 3600.0
+
+    def task_seconds(self) -> float:
+        """Task-seconds consumed so far (scale-free variant of task hours)."""
+        self._advance_clock()
+        return self._task_seconds

@@ -1,0 +1,257 @@
+"""The master-side scheduler: deployment and elastic scaling actions.
+
+The scheduler instantiates the runtime graph from the job graph (one task
+per degree of parallelism, channels per wiring pattern), and executes the
+scaling actions issued by the elastic scaler:
+
+* **scale-up** — new tasks spawn after a startup delay (the paper reports
+  1-2 s for starting tasks via Nephele's scheduler) and are wired into
+  the producers' partitioners once running;
+* **scale-down** — victims are removed from upstream partitioners
+  immediately, then *drain*: they keep processing queued and in-flight
+  items and only release their slot once empty (the paper notes
+  scale-downs take longer because "intermediate queues need to be
+  drained").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.engine.channel import NetworkModel, RuntimeChannel
+from repro.engine.batching import BatchingStrategy
+from repro.engine.resources import ResourceManager
+from repro.engine.runtime import RuntimeGraph, RuntimeVertex
+from repro.engine.task import OutputGate, RuntimeTask
+from repro.graphs.job_graph import JobEdge, JobGraph, JobVertex
+from repro.simulation.kernel import Simulator
+from repro.simulation.randomness import RandomStreams
+
+
+class Scheduler:
+    """Places tasks in worker slots and executes scaling actions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        runtime: RuntimeGraph,
+        resources: ResourceManager,
+        streams: RandomStreams,
+        batching_prototype: BatchingStrategy,
+        network: NetworkModel,
+        queue_capacity: int = 256,
+        channel_capacity: int = 256,
+        item_size: int = 256,
+        startup_delay: float = 1.5,
+        on_task_created: Optional[Callable[[RuntimeTask], None]] = None,
+        on_channel_created: Optional[Callable[[RuntimeChannel], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.runtime = runtime
+        self.resources = resources
+        self.streams = streams
+        self.batching_prototype = batching_prototype
+        self.network = network
+        self.queue_capacity = queue_capacity
+        self.channel_capacity = channel_capacity
+        self.item_size = item_size
+        self.startup_delay = startup_delay
+        self.on_task_created = on_task_created
+        self.on_channel_created = on_channel_created
+        #: log of executed scaling actions: (time, vertex, old_p, new_p)
+        self.scaling_log: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    # deployment
+    # ------------------------------------------------------------------
+
+    def deploy(self) -> None:
+        """Instantiate the runtime graph at the job graph's initial parallelism."""
+        graph = self.runtime.job_graph
+        for job_vertex in graph.topological_order():
+            rv = self.runtime.vertex(job_vertex.name)
+            for _ in range(job_vertex.parallelism):
+                self._create_task(rv)
+        for edge in graph.edges:
+            self._wire_edge_full_mesh(edge)
+        for job_vertex in graph.topological_order():
+            for task in self.runtime.vertex(job_vertex.name).tasks:
+                task.start()
+
+    def _create_task(self, rv: RuntimeVertex) -> RuntimeTask:
+        job_vertex = rv.job_vertex
+        index = rv.next_subtask_index()
+        rng = self.streams.get(f"task:{job_vertex.name}:{index}")
+        task = RuntimeTask(
+            self.sim,
+            job_vertex.name,
+            index,
+            job_vertex.udf_factory(),
+            rng,
+            queue_capacity=self.queue_capacity,
+            item_size=self.item_size,
+        )
+        profile = getattr(job_vertex, "rate_profile", None)
+        if profile is not None:
+            task.rate_profile = profile
+        task.on_stopped = self._on_task_stopped
+        self.resources.allocate_slot(task)
+        rv.tasks.append(task)
+        # Gates exist from creation so wiring can happen before start().
+        for gate_index, edge in enumerate(job_vertex.outputs):
+            task.out_gates.append(
+                OutputGate(
+                    self.sim,
+                    task,
+                    edge.name,
+                    edge.pattern,
+                    self.batching_prototype.clone(),
+                    self.network,
+                    key_fn=edge.key_fn,
+                    start=index,
+                )
+            )
+        if self.on_task_created is not None:
+            self.on_task_created(task)
+        return task
+
+    def _wire_edge_full_mesh(self, edge: JobEdge) -> None:
+        producers = self.runtime.vertex(edge.source.name).active_tasks()
+        consumers = self.runtime.vertex(edge.target.name).active_tasks()
+        for producer in producers:
+            gate = self._gate_of(producer, edge.name)
+            channels = [self._create_channel(producer, consumer, edge) for consumer in consumers]
+            gate.set_channels(channels)
+
+    def _gate_of(self, task: RuntimeTask, edge_name: str) -> OutputGate:
+        for gate in task.out_gates:
+            if gate.edge_name == edge_name:
+                return gate
+        raise KeyError(f"task {task.task_id} has no gate for edge {edge_name!r}")
+
+    def _create_channel(
+        self, producer: RuntimeTask, consumer: RuntimeTask, edge: JobEdge
+    ) -> RuntimeChannel:
+        channel = RuntimeChannel(
+            self.sim,
+            consumer,
+            self.network,
+            edge.name,
+            capacity=self.channel_capacity,
+        )
+        channel.producer = producer
+        consumer.in_channels.append(channel)
+        self.runtime.register_channel(channel)
+        if self.on_channel_created is not None:
+            self.on_channel_created(channel)
+        return channel
+
+    # ------------------------------------------------------------------
+    # scaling actions
+    # ------------------------------------------------------------------
+
+    def set_parallelism(self, vertex_name: str, target: int) -> int:
+        """Scale a vertex towards ``target`` parallelism.
+
+        Returns the signed change that was actually initiated (pending
+        scale-ups are counted, so repeated calls are idempotent).
+        """
+        rv = self.runtime.vertex(vertex_name)
+        job_vertex = rv.job_vertex
+        target = job_vertex.clamp(target)
+        current = rv.target_parallelism
+        if target > current:
+            self.scale_up(vertex_name, target - current)
+            return target - current
+        if target < current:
+            # Never drain tasks that have not materialized yet; reductions
+            # apply to live tasks only.
+            reducible = min(current - target, rv.parallelism - job_vertex.min_parallelism)
+            reducible = max(0, min(reducible, rv.parallelism - 1))
+            if reducible > 0:
+                self.scale_down(vertex_name, reducible)
+            return -reducible
+        return 0
+
+    def scale_up(self, vertex_name: str, count: int) -> None:
+        """Announce ``count`` new tasks; they start after the startup delay."""
+        if count <= 0:
+            return
+        rv = self.runtime.vertex(vertex_name)
+        rv.pending_additions += count
+        self.sim.schedule(self.startup_delay, self._materialize_scale_up, rv, count)
+
+    def _materialize_scale_up(self, rv: RuntimeVertex, count: int) -> None:
+        rv.pending_additions -= count
+        old_p = rv.parallelism
+        new_tasks = [self._create_task(rv) for _ in range(count)]
+        job_vertex = rv.job_vertex
+        # Wire inbound: every active producer of each inbound edge gains
+        # channels to the new tasks.
+        for edge in job_vertex.inputs:
+            for producer in self.runtime.vertex(edge.source.name).active_tasks():
+                gate = self._gate_of(producer, edge.name)
+                added = [self._create_channel(producer, task, edge) for task in new_tasks]
+                gate.set_channels(list(gate.channels) + added)
+        # Wire outbound: the new tasks gain channels to all active consumers.
+        for edge in job_vertex.outputs:
+            consumers = self.runtime.vertex(edge.target.name).active_tasks()
+            for task in new_tasks:
+                gate = self._gate_of(task, edge.name)
+                gate.set_channels(
+                    [self._create_channel(task, consumer, edge) for consumer in consumers]
+                )
+        for task in new_tasks:
+            task.start()
+        self.scaling_log.append((self.sim.now, rv.name, old_p, rv.parallelism))
+
+    def scale_down(self, vertex_name: str, count: int) -> None:
+        """Gracefully remove ``count`` tasks (youngest first)."""
+        if count <= 0:
+            return
+        rv = self.runtime.vertex(vertex_name)
+        active = rv.active_tasks()
+        count = min(count, len(active) - 1)  # never drain the last task
+        if count <= 0:
+            return
+        victims = sorted(active, key=lambda t: t.subtask_index)[-count:]
+        old_p = rv.parallelism
+        victim_set = set(id(t) for t in victims)
+        # Remove victims from all upstream partitioners first so no new
+        # items are routed to them, then start draining.
+        for edge in rv.job_vertex.inputs:
+            for producer in self.runtime.vertex(edge.source.name).tasks:
+                if producer.state == "stopped":
+                    continue
+                try:
+                    gate = self._gate_of(producer, edge.name)
+                except KeyError:  # pragma: no cover - defensive
+                    continue
+                kept = [c for c in gate.channels if id(c.consumer) not in victim_set]
+                if len(kept) != len(gate.channels):
+                    gate.set_channels(kept)
+        for victim in victims:
+            victim.begin_drain()
+        self.scaling_log.append((self.sim.now, rv.name, old_p, rv.parallelism))
+
+    def _on_task_stopped(self, task: RuntimeTask) -> None:
+        self.resources.release_slot(task)
+        rv = self.runtime.vertex(task.vertex_name)
+        if task in rv.tasks:
+            rv.tasks.remove(task)
+        # Close and unregister this task's outbound channels.
+        for gate in task.out_gates:
+            for channel in gate.channels:
+                channel.close()
+                self.runtime.unregister_channel(channel)
+                if channel in channel.consumer.in_channels:
+                    channel.consumer.in_channels.remove(channel)
+        # Unregister the (already closed) inbound channels.
+        for channel in task.in_channels:
+            self.runtime.unregister_channel(channel)
+
+    def stop_all(self) -> None:
+        """Tear the whole job down (end of experiment)."""
+        for task in self.runtime.all_tasks():
+            if task.state != "stopped":
+                task._finish_stop()

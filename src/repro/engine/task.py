@@ -1,0 +1,491 @@
+"""Runtime tasks: single-server queueing stations executing UDFs.
+
+A :class:`RuntimeTask` is one data-parallel instance of a job vertex
+(paper Sec. II-A2). Its life is a producer-consumer loop:
+
+1. pop the oldest item from the bounded input queue (recording channel
+   latency for the hop it arrived on);
+2. *serve* it for a simulated service time drawn from the UDF (plus any
+   accumulated shipping-overhead debt);
+3. run the UDF, route the outputs through the output gates' partitioners
+   and emit them into channels — blocking if a channel is at capacity
+   (backpressure), which stretches the *measured* service time;
+4. report read-ready latency (= service time, Table I) to its QoS
+   reporter, then loop.
+
+Source tasks instead generate items at the rate dictated by a
+:class:`~repro.workloads.rates.RateProfile` and are throttled to the
+*effective* throughput when backpressure reaches them (paper Sec. III-B).
+Windowed (read-write) UDFs are flushed periodically by the task, which
+reports read-write task latencies per consumed item.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.engine.batching import AdaptiveDeadlineBatching, BatchingStrategy
+from repro.engine.channel import NetworkModel, RuntimeChannel
+from repro.engine.items import DataItem
+from repro.engine.queues import BoundedQueue
+from repro.engine.udf import Emit, SourceUDF, UDF, WindowedAggregateUDF
+from repro.graphs.partitioning import Partitioner, make_partitioner
+from repro.simulation.events import Event
+from repro.simulation.kernel import PeriodicProcess, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.qos.reporter import TaskReporter
+    from repro.workloads.rates import RateProfile
+
+#: task lifecycle states
+CREATED = "created"
+RUNNING = "running"
+DRAINING = "draining"
+STOPPED = "stopped"
+
+
+class OutputGate:
+    """One output gate per outbound job edge of a task.
+
+    The gate owns (a) the live partitioner and the channel list towards
+    the consumer tasks of the edge (rebuilt by the scheduler on elastic
+    rescaling), and (b) the *output buffer* whose batching strategy
+    decides when buffered items are shipped. Buffering at the gate —
+    rather than per channel — mirrors Nephele/Flink, where the task
+    thread serializes into shared output buffers and shipping overhead is
+    paid per wire transfer; it is also what makes deadline batching form
+    real batches when per-channel rates are low (paper Sec. III).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        producer: "RuntimeTask",
+        edge_name: str,
+        pattern: str,
+        strategy: "BatchingStrategy",
+        network: NetworkModel,
+        key_fn: Optional[Callable[[object], object]] = None,
+        start: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.producer = producer
+        self.edge_name = edge_name
+        self.pattern = pattern
+        self.key_fn = key_fn
+        self.strategy = strategy
+        self.network = network
+        self.channels: List[RuntimeChannel] = []
+        self.partitioner: Partitioner = make_partitioner(pattern, 1, key_fn, start)
+        self._start = start
+        self._buffer: List[Tuple[RuntimeChannel, DataItem]] = []
+        self._buffered_bytes = 0
+        self._flush_timer: Optional[Event] = None
+        #: lifetime flush count (tests / recorders)
+        self.flushes = 0
+
+    def set_channels(self, channels: Sequence[RuntimeChannel]) -> None:
+        """Replace the channel list (rescale); rebuilds the partitioner."""
+        self.channels = list(channels)
+        fanout = max(1, len(self.channels))
+        self.partitioner = make_partitioner(self.pattern, fanout, self.key_fn, self._start)
+
+    def select_channels(self, payload: object) -> List[RuntimeChannel]:
+        """Channels the payload must be sent to (one, or all on broadcast)."""
+        if not self.channels:
+            return []
+        return [self.channels[i] for i in self.partitioner.select(payload)]
+
+    # ------------------------------------------------------------------
+    # output buffering
+    # ------------------------------------------------------------------
+
+    @property
+    def buffered_items(self) -> int:
+        """Items currently waiting in the gate's output buffer."""
+        return len(self._buffer)
+
+    def emit(self, channel: RuntimeChannel, item: DataItem) -> bool:
+        """Buffer ``item`` for ``channel``; ``False`` when out of credits."""
+        if not channel.accept(item):
+            # Write stall: ship what is buffered (credits may be held by
+            # our own buffered items), then retry once. Without this,
+            # size-only batching can deadlock against the credit limit.
+            if self._buffer:
+                self._flush()
+                if not channel.accept(item):
+                    return False
+            else:
+                return False
+        self._buffer.append((channel, item))
+        self._buffered_bytes += item.size
+        if self.strategy.should_flush_on_emit(len(self._buffer), self._buffered_bytes):
+            self._flush()
+        elif self._flush_timer is None:
+            deadline = self.strategy.flush_deadline()
+            if deadline is not None:
+                self._flush_timer = self.sim.schedule(deadline, self._on_flush_timer)
+        return True
+
+    def set_deadline(self, deadline: float) -> None:
+        """Re-tune an adaptive strategy's flush deadline (no-op otherwise)."""
+        if isinstance(self.strategy, AdaptiveDeadlineBatching):
+            self.strategy.set_deadline(deadline)
+
+    def flush_now(self) -> None:
+        """Ship whatever is buffered (drain / teardown)."""
+        if self._buffer:
+            self._flush()
+
+    def _on_flush_timer(self) -> None:
+        self._flush_timer = None
+        if self._buffer:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
+        buffer = self._buffer
+        self._buffer = []
+        self._buffered_bytes = 0
+        self.flushes += 1
+        self.producer.add_overhead(self.network.shipping_overhead(len(buffer)))
+        groups: "OrderedDict[int, Tuple[RuntimeChannel, List[DataItem]]]" = OrderedDict()
+        for channel, item in buffer:
+            entry = groups.get(channel.channel_id)
+            if entry is None:
+                groups[channel.channel_id] = (channel, [item])
+            else:
+                entry[1].append(item)
+        for channel, items in groups.values():
+            channel.ship(items, sum(i.size for i in items))
+
+
+class RuntimeTask:
+    """One parallel task instance of a job vertex."""
+
+    _ids = 0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        vertex_name: str,
+        subtask_index: int,
+        udf: UDF,
+        rng: random.Random,
+        queue_capacity: int = 256,
+        item_size: int = 256,
+    ) -> None:
+        RuntimeTask._ids += 1
+        self.uid = RuntimeTask._ids
+        self.sim = sim
+        self.vertex_name = vertex_name
+        self.subtask_index = subtask_index
+        self.task_id = f"{vertex_name}[{subtask_index}]#{self.uid}"
+        self.udf = udf
+        self.rng = rng
+        self.item_size = item_size
+        self.input_queue = BoundedQueue(queue_capacity)
+        self.in_channels: List[RuntimeChannel] = []
+        self.out_gates: List[OutputGate] = []
+        self.reporter: Optional["TaskReporter"] = None
+        self.state = CREATED
+        self.start_time: Optional[float] = None
+        self.stop_time: Optional[float] = None
+        self.on_stopped: Optional[Callable[["RuntimeTask"], None]] = None
+
+        #: CPU speed of the hosting worker (set at slot allocation);
+        #: service times are divided by it
+        self.speed_factor = 1.0
+
+        # processing state
+        self._busy = False
+        self._pop_time = 0.0
+        self._backlog: List[Tuple[OutputGate, RuntimeChannel, DataItem]] = []
+        self._blocked_on: Optional[RuntimeChannel] = None
+        self._overhead_debt = 0.0
+        self._last_enqueue: Optional[float] = None
+        self._window_process: Optional[PeriodicProcess] = None
+        self._window_created: List[float] = []
+        self._drain_probe: Optional[PeriodicProcess] = None
+
+        # source state
+        self.rate_profile: Optional["RateProfile"] = None
+        self._tick_owed = False
+
+        #: optional probe called with (elapsed-since-creation, payload) for
+        #: every item this task processes; the engine installs one on sink
+        #: tasks for end-to-end ground truth, experiments may add others
+        self.process_probe: Optional[Callable[[float, object], None]] = None
+
+        # accounting (ground truth for recorders)
+        self.items_processed = 0
+        self.items_emitted = 0
+        self.busy_time = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def is_source(self) -> bool:
+        """Whether this task generates items rather than consuming them."""
+        return isinstance(self.udf, SourceUDF)
+
+    def start(self) -> None:
+        """Deploy the task: open the UDF, start window/source processes."""
+        if self.state != CREATED:
+            raise RuntimeError(f"task {self.task_id} already started")
+        self.state = RUNNING
+        self.start_time = self.sim.now
+        self.udf.open(self)
+        if isinstance(self.udf, WindowedAggregateUDF):
+            self._window_process = self.sim.every(self.udf.window, self._flush_window)
+        if self.is_source:
+            if self.rate_profile is None:
+                raise RuntimeError(f"source task {self.task_id} has no rate profile")
+            self._schedule_source_tick()
+
+    def begin_drain(self) -> None:
+        """Start a graceful stop: finish queued work, then stop.
+
+        The scheduler must already have removed this task from upstream
+        partitioners; in-flight batches are still accepted and processed.
+        """
+        if self.state in (DRAINING, STOPPED):
+            return
+        self.state = DRAINING
+        if self.is_source:
+            # Sources have no queued work; stop at once.
+            self._finish_stop()
+            return
+        # Poll for the drain-complete condition; event-driven checks also
+        # run opportunistically from the processing loop.
+        self._drain_probe = self.sim.every(0.05, self._check_drained)
+        self._check_drained()
+
+    def _check_drained(self) -> None:
+        if self.state != DRAINING:
+            return
+        inflight = any(c.outstanding > 0 for c in self.in_channels if not c.closed)
+        if (
+            not self._busy
+            and not self._backlog
+            and len(self.input_queue) == 0
+            and not inflight
+        ):
+            self._finish_stop()
+
+    def _finish_stop(self) -> None:
+        if self.state == STOPPED:
+            return
+        self.state = STOPPED
+        self.stop_time = self.sim.now
+        if self._window_process is not None:
+            self._window_process.stop()
+            self._window_process = None
+        if self._drain_probe is not None:
+            self._drain_probe.stop()
+            self._drain_probe = None
+        for gate in self.out_gates:
+            gate.flush_now()
+        for channel in self.in_channels:
+            channel.close()
+        self.udf.close()
+        if self.on_stopped is not None:
+            self.on_stopped(self)
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+
+    def on_item_enqueued(self, channel: RuntimeChannel) -> None:
+        """Called by an inbound channel after it enqueued one item."""
+        now = self.sim.now
+        if self.reporter is not None:
+            if self._last_enqueue is not None:
+                self.reporter.record_interarrival(now - self._last_enqueue)
+            self._last_enqueue = now
+        if self.state in (RUNNING, DRAINING) and not self._busy and self._blocked_on is None:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if len(self.input_queue) == 0:
+            if self.state == DRAINING:
+                self._check_drained()
+            return
+        # Guard before get(): popping frees queue space, which can deliver a
+        # parked batch and re-enter on_item_enqueued synchronously.
+        self._busy = True
+        item, channel = self.input_queue.get()
+        now = self.sim.now
+        if isinstance(channel, RuntimeChannel) and channel.reporter is not None:
+            if item.sampled and item.emitted_at is not None:
+                channel.reporter.record_channel_latency(now - item.emitted_at)
+        self._pop_time = now
+        udf_service = self.udf.service_time(item.payload, self.rng) / self.speed_factor
+        # Overhead debt was already counted into busy_time by add_overhead;
+        # here it only delays the completion.
+        service = udf_service + self._overhead_debt
+        self._overhead_debt = 0.0
+        self.busy_time += udf_service
+        self.sim.schedule(service, self._complete_service, item)
+
+    def _complete_service(self, item: DataItem) -> None:
+        self.items_processed += 1
+        udf = self.udf
+        outputs = udf.process(item.payload)
+        if isinstance(udf, WindowedAggregateUDF):
+            udf.record_consume(self.sim.now)
+            self._window_created.append(item.created_at)
+        if self.process_probe is not None:
+            self.process_probe(self.sim.now - item.created_at, item.payload)
+        self._route_outputs(outputs, item.created_at)
+        self._finish_or_block()
+
+    def _finish_or_block(self) -> None:
+        """Drain the emission backlog; finish the current item if possible."""
+        if not self._drain_backlog():
+            return  # blocked; resumed by _on_unblocked
+        now = self.sim.now
+        if self._busy:
+            self._busy = False
+            elapsed = now - self._pop_time
+            if self.reporter is not None:
+                self.reporter.record_service_time(elapsed)
+                if self.udf.latency_mode == "RR":
+                    self.reporter.record_task_latency(elapsed)
+        if self.state in (RUNNING, DRAINING):
+            self._start_next()
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+
+    def _route_outputs(self, outputs: Iterable[object], created_at: float) -> None:
+        for output in outputs:
+            if isinstance(output, Emit):
+                gates = (self.out_gates[output.gate],)
+                payload = output.payload
+            else:
+                gates = tuple(self.out_gates)
+                payload = output
+            for gate in gates:
+                for channel in gate.select_channels(payload):
+                    item = DataItem(payload, created_at, self.item_size)
+                    self._backlog.append((gate, channel, item))
+
+    def _drain_backlog(self) -> bool:
+        """Emit backlog items in order; returns False if blocked."""
+        while self._backlog:
+            gate, channel, item = self._backlog[0]
+            if channel.closed:
+                self._backlog.pop(0)
+                continue
+            if not gate.emit(channel, item):
+                if self._blocked_on is not channel:
+                    self._blocked_on = channel
+                    channel.add_unblock_waiter(self._on_unblocked)
+                return False
+            self._backlog.pop(0)
+            self.items_emitted += 1
+        self._blocked_on = None
+        return True
+
+    def _on_unblocked(self) -> None:
+        self._blocked_on = None
+        if self.state == STOPPED:
+            return
+        if self.is_source:
+            if not self._drain_backlog():
+                return  # blocked again; another waiter is registered
+            if self._tick_owed:
+                self._tick_owed = False
+                self._source_emit()
+                if not self._drain_backlog():
+                    return
+            # The emission loop stalled while blocked (no tick is pending);
+            # resume it from now.
+            self._schedule_source_tick()
+        else:
+            self._finish_or_block()
+
+    def add_overhead(self, seconds: float) -> None:
+        """Charge shipping overhead; consumed before the next service."""
+        self._overhead_debt += seconds
+        self.busy_time += seconds
+
+    # ------------------------------------------------------------------
+    # windowed UDFs
+    # ------------------------------------------------------------------
+
+    def _flush_window(self) -> None:
+        if self.state not in (RUNNING, DRAINING):
+            return
+        udf = self.udf
+        assert isinstance(udf, WindowedAggregateUDF)
+        now = self.sim.now
+        outputs = udf.flush()
+        consume_times = udf.consume_times_and_clear()
+        if self.reporter is not None:
+            for t in consume_times:
+                self.reporter.record_task_latency(now - t)
+        if outputs:
+            if self._window_created:
+                created = sum(self._window_created) / len(self._window_created)
+            else:
+                created = now
+            self._route_outputs(outputs, created)
+        self._window_created = []
+        if not self._busy and self._blocked_on is None:
+            self._drain_backlog()
+
+    # ------------------------------------------------------------------
+    # source side
+    # ------------------------------------------------------------------
+
+    def _schedule_source_tick(self) -> None:
+        if self.state != RUNNING:
+            return
+        assert self.rate_profile is not None
+        interval = self.rate_profile.next_interval(self.sim.now, self.rng)
+        # Shipping overhead keeps the source thread busy; the next item is
+        # emitted once the profile interval has elapsed AND the thread is
+        # free again (overhead caps the max rate but does not delay
+        # emissions below saturation).
+        interval = max(interval, self._overhead_debt)
+        self._overhead_debt = 0.0
+        self.sim.schedule(interval, self._source_tick)
+
+    def _source_tick(self) -> None:
+        if self.state != RUNNING:
+            return
+        if self._backlog:
+            # Backpressure reached the source: owe exactly one tick and
+            # resume from the unblock (effective < attempted throughput).
+            self._tick_owed = True
+            return
+        self._source_emit()
+        if self._drain_backlog():
+            self._schedule_source_tick()
+        # else: resumed from _on_unblocked
+
+    def _source_emit(self) -> None:
+        udf = self.udf
+        assert isinstance(udf, SourceUDF)
+        now = self.sim.now
+        payload = udf.generate(now, self.rng)
+        self.items_processed += 1
+        self._route_outputs((payload,), created_at=now)
+
+    # ------------------------------------------------------------------
+
+    def current_utilization_window(self) -> float:
+        """Lifetime busy time (recorders diff this per wall interval)."""
+        return self.busy_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RuntimeTask({self.task_id}, state={self.state})"

@@ -1,0 +1,33 @@
+"""Experiment harnesses reproducing the paper's tables and figures.
+
+One module per paper artifact (see DESIGN.md's experiment index):
+
+* :mod:`repro.experiments.fig3_motivation` — Fig. 3, the four static
+  configurations under step load;
+* :mod:`repro.experiments.fig5_surface` — Fig. 5, the Rebalance
+  solution-candidate surface;
+* :mod:`repro.experiments.fig6_primetester` — Fig. 6 + the in-text
+  task-hour table, elastic vs. unelastic PrimeTester;
+* :mod:`repro.experiments.fig8_twitter` — Fig. 8, TwitterSentiment with
+  reactive scaling.
+
+Each module exposes a ``run(...)`` function returning a result object
+with the same rows/series the paper reports, plus a ``main()`` CLI entry
+point (``python -m repro.experiments.fig6_primetester``).
+"""
+
+from repro.experiments.recording import SeriesRecorder, SeriesRow
+from repro.experiments.report import format_table, write_csv
+from repro.experiments.ascii import line_chart, series_panel, sparkline
+from repro.experiments.dashboard import Dashboard
+
+__all__ = [
+    "SeriesRecorder",
+    "SeriesRow",
+    "format_table",
+    "write_csv",
+    "sparkline",
+    "line_chart",
+    "series_panel",
+    "Dashboard",
+]

@@ -1,0 +1,118 @@
+"""ASCII chart rendering for experiment reports (no plotting deps).
+
+The harnesses print time series; these helpers render them readably in a
+terminal: one-line sparklines for compact dashboards and multi-row line
+charts for the figures' latency / throughput / parallelism series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[Optional[float]], width: Optional[int] = None) -> str:
+    """Render a series as one line of block characters.
+
+    ``None`` values render as spaces; ``width`` (optional) downsamples by
+    bucket means. Returns an empty string for an empty series.
+    """
+    points = list(values)
+    if not points:
+        return ""
+    if width is not None and width > 0 and len(points) > width:
+        points = _downsample(points, width)
+    present = [v for v in points if v is not None]
+    if not present:
+        return " " * len(points)
+    low = min(present)
+    high = max(present)
+    span = high - low
+    chars = []
+    for value in points:
+        if value is None:
+            chars.append(" ")
+            continue
+        if span <= 0:
+            chars.append(_SPARK_LEVELS[0])
+            continue
+        index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def _downsample(points: List[Optional[float]], width: int) -> List[Optional[float]]:
+    buckets: List[Optional[float]] = []
+    size = len(points) / width
+    for i in range(width):
+        chunk = [
+            v for v in points[int(i * size) : max(int(i * size) + 1, int((i + 1) * size))]
+            if v is not None
+        ]
+        buckets.append(sum(chunk) / len(chunk) if chunk else None)
+    return buckets
+
+
+def line_chart(
+    values: Sequence[Optional[float]],
+    height: int = 8,
+    width: Optional[int] = 72,
+    label: str = "",
+    unit: str = "",
+) -> str:
+    """Render a series as a multi-row ASCII chart with a value axis."""
+    if height < 2:
+        raise ValueError("height must be >= 2")
+    points = list(values)
+    if width is not None and len(points) > width:
+        points = _downsample(points, width)
+    present = [v for v in points if v is not None]
+    if not present:
+        return f"{label}: (no data)"
+    low = min(present)
+    high = max(present)
+    span = high - low if high > low else 1.0
+    rows = []
+    grid = [[" "] * len(points) for _ in range(height)]
+    for x, value in enumerate(points):
+        if value is None:
+            continue
+        y = int((value - low) / span * (height - 1))
+        grid[height - 1 - y][x] = "*"
+    header = f"{label}  [{_fmt(low)}..{_fmt(high)}] {unit}".rstrip()
+    rows.append(header)
+    for i, row in enumerate(grid):
+        margin = _fmt(high) if i == 0 else (_fmt(low) if i == height - 1 else "")
+        rows.append(f"{margin:>10} |" + "".join(row))
+    return "\n".join(rows)
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1000:
+        return f"{value:.0f}"
+    if magnitude >= 1:
+        return f"{value:.1f}"
+    return f"{value:.3g}"
+
+
+def series_panel(
+    title: str,
+    named_series: Sequence[tuple],
+    width: int = 60,
+) -> str:
+    """A compact dashboard: one labelled sparkline per series."""
+    lines = [title]
+    label_width = max((len(name) for name, _ in named_series), default=0)
+    for name, values in named_series:
+        present = [v for v in values if v is not None]
+        if present:
+            suffix = f"  min {_fmt(min(present))}  max {_fmt(max(present))}"
+        else:
+            suffix = "  (no data)"
+        lines.append(f"  {name:<{label_width}}  {sparkline(values, width)}{suffix}")
+    return "\n".join(lines)

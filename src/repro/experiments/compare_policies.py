@@ -1,0 +1,199 @@
+"""Policy comparison experiment (Sec. VI, quantified).
+
+Runs the step-load PrimeTester under four scaling policies and compares
+constraint fulfillment, resource consumption and scaling churn:
+
+* ``scale-reactively`` — the paper's latency-constraint-driven policy;
+* ``predictive`` — its Holt-forecast extension (the paper's future work);
+* ``cpu-threshold`` — overload prevention à la SEEP / MillWheel;
+* ``rate-based`` — feed-forward sizing à la Sattler & Beier.
+
+The paper's Sec. VI positions these as designed for different goals
+("their scaling policies are designed to prevent overload/bottlenecks,
+conversely our policy is designed to minimize the violation of
+user-defined latency constraints"); this harness measures the difference.
+
+Run:  python -m repro.experiments.compare_policies [--quick]
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.core.policies import CpuThresholdPolicy, RateBasedPolicy
+from repro.core.predictive import PredictiveScaleReactivelyPolicy
+from repro.engine.engine import EngineConfig, StreamProcessingEngine
+from repro.experiments.report import format_table, write_csv
+from repro.workloads.primetester import (
+    PrimeTesterParams,
+    build_primetester_job,
+    primetester_constraint,
+)
+
+POLICIES = ("scale-reactively", "predictive", "cpu-threshold", "rate-based")
+
+
+@dataclass
+class CompareParams:
+    """Scenario knobs for the policy comparison."""
+
+    workload: PrimeTesterParams = field(
+        default_factory=lambda: PrimeTesterParams(
+            n_sources=8,
+            n_testers=8,
+            n_sinks=2,
+            tester_min=1,
+            tester_max=64,
+            warmup_rate=30.0,
+            peak_rate=350.0,
+            increment_steps=6,
+            step_duration=15.0,
+            tester_service_mean=0.0025,
+            tester_service_cv=0.7,
+        )
+    )
+    constraint_bound: float = 0.020
+    #: CPU-threshold policy parameters (high / low / target utilization)
+    cpu_thresholds: tuple = (0.8, 0.3, 0.6)
+    #: rate-based policy headroom
+    rate_headroom: float = 0.3
+    #: predictive horizon in adjustment intervals
+    predictive_horizon: float = 1.0
+    seed: int = 11
+
+    def quick(self) -> "CompareParams":
+        """Reduced variant for benchmarks."""
+        workload = replace(self.workload, step_duration=8.0, increment_steps=5,
+                           peak_rate=300.0)
+        return replace(self, workload=workload)
+
+
+class PolicyOutcome:
+    """One policy's run outcome."""
+
+    __slots__ = ("policy", "fulfillment", "task_seconds", "scaling_events", "max_parallelism")
+
+    def __init__(self, policy: str, fulfillment: float, task_seconds: float,
+                 scaling_events: int, max_parallelism: int) -> None:
+        self.policy = policy
+        self.fulfillment = fulfillment
+        self.task_seconds = task_seconds
+        self.scaling_events = scaling_events
+        self.max_parallelism = max_parallelism
+
+
+class CompareResult:
+    """All policies' outcomes."""
+
+    def __init__(self, params: CompareParams) -> None:
+        self.params = params
+        self.outcomes: Dict[str, PolicyOutcome] = {}
+
+    def report(self) -> str:
+        """The comparison table."""
+        rows = [
+            [
+                o.policy,
+                f"{o.fulfillment * 100:.1f}%",
+                round(o.task_seconds),
+                o.scaling_events,
+                o.max_parallelism,
+            ]
+            for o in self.outcomes.values()
+        ]
+        return format_table(
+            [
+                "policy",
+                f"{self.params.constraint_bound * 1000:.0f}ms constraint fulfilled",
+                "task-seconds",
+                "scaling events",
+                "max p(PT)",
+            ],
+            rows,
+            title="Scaling-policy comparison on the step-load PrimeTester (Sec. VI)",
+        )
+
+    def series_csv(self, path: str) -> str:
+        """Export the outcomes."""
+        return write_csv(
+            path,
+            ["policy", "fulfillment", "task_seconds", "scaling_events", "max_parallelism"],
+            [
+                [o.policy, o.fulfillment, o.task_seconds, o.scaling_events, o.max_parallelism]
+                for o in self.outcomes.values()
+            ],
+        )
+
+
+def run_policy(params: CompareParams, policy_name: str) -> PolicyOutcome:
+    """Run the scenario under one policy."""
+    if policy_name not in POLICIES:
+        raise ValueError(f"unknown policy {policy_name!r}")
+    graph, profile = build_primetester_job(params.workload)
+    constraint = primetester_constraint(graph, params.constraint_bound)
+    config = EngineConfig.nephele_adaptive(
+        elastic=True,
+        per_batch_overhead=0.0015,
+        per_item_overhead=0.00002,
+        queue_capacity=128,
+        channel_capacity=16,
+        seed=params.seed,
+    )
+    engine = StreamProcessingEngine(config)
+    job = engine.submit(graph, [constraint])
+    tester = graph.vertex("PrimeTester")
+    if policy_name == "cpu-threshold":
+        high, low, target = params.cpu_thresholds
+        job.scaler.policy = CpuThresholdPolicy([tester], high=high, low=low, target=target)
+    elif policy_name == "rate-based":
+        job.scaler.policy = RateBasedPolicy([tester], headroom=params.rate_headroom)
+    elif policy_name == "predictive":
+        job.scaler.policy = PredictiveScaleReactivelyPolicy(
+            [constraint], horizon=params.predictive_horizon
+        )
+    max_p = [tester.parallelism]
+
+    duration = profile.end_time + params.workload.step_duration
+    remaining = duration
+    while remaining > 0:
+        step = min(5.0, remaining)
+        engine.run(step)
+        remaining -= step
+        max_p.append(job.parallelism("PrimeTester"))
+    tracker = job.trackers[0]
+    return PolicyOutcome(
+        policy_name,
+        tracker.fulfillment_ratio,
+        engine.resources.task_seconds(),
+        len(job.scaler.events),
+        max(max_p),
+    )
+
+
+def run(params: Optional[CompareParams] = None) -> CompareResult:
+    """Run all four policies."""
+    params = params or CompareParams()
+    result = CompareResult(params)
+    for policy in POLICIES:
+        result.outcomes[policy] = run_policy(params, policy)
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: ``python -m repro.experiments.compare_policies [--quick] [--csv PATH]``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    params = CompareParams()
+    if "--quick" in argv:
+        params = params.quick()
+    result = run(params)
+    print(result.report())
+    if "--csv" in argv:
+        path = argv[argv.index("--csv") + 1]
+        print(f"outcomes written to {result.series_csv(path)}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

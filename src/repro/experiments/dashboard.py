@@ -1,0 +1,163 @@
+"""A textual operations dashboard for a running engine.
+
+Combines the series recorder, the constraint trackers, the scaler's
+event log and the assumption diagnostics into one renderable snapshot —
+what an operator of the paper's system would watch. Used by the examples
+and handy in notebooks/REPLs:
+
+>>> dash = Dashboard(engine, recorder)            # doctest: +SKIP
+>>> print(dash.render())                          # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.engine.engine import DeployedJob, StreamProcessingEngine
+from repro.experiments.ascii import series_panel, sparkline
+from repro.experiments.recording import SeriesRecorder
+from repro.experiments.report import format_table, ms
+
+
+class Dashboard:
+    """Renders one engine/job's current state as plain text."""
+
+    def __init__(
+        self,
+        engine: StreamProcessingEngine,
+        recorder: Optional[SeriesRecorder] = None,
+        job: Optional[DeployedJob] = None,
+        width: int = 60,
+    ) -> None:
+        self.engine = engine
+        self.recorder = recorder
+        self.job = job
+        self.width = width
+
+    def _job(self) -> Optional[DeployedJob]:
+        if self.job is not None:
+            return self.job
+        return self.engine.jobs[0] if self.engine.jobs else None
+
+    # ------------------------------------------------------------------
+    # sections
+    # ------------------------------------------------------------------
+
+    def header(self) -> str:
+        """One-line engine status."""
+        resources = self.engine.resources
+        return (
+            f"t={self.engine.now:.0f}s  jobs={len(self.engine.jobs)}  "
+            f"tasks={resources.active_tasks}  workers={resources.leased_workers}"
+            f"/{resources.pool_size}  task-seconds={resources.task_seconds():.0f}"
+        )
+
+    def constraints_table(self) -> str:
+        """Per-constraint fulfillment and latest measured latency."""
+        job = self._job()
+        if job is None or not job.trackers:
+            return "(no constraints)"
+        rows = []
+        for tracker in job.trackers:
+            latest = tracker.history[-1] if tracker.history else None
+            rows.append(
+                [
+                    tracker.constraint.name,
+                    f"{tracker.constraint.bound * 1000:.0f} ms",
+                    ms(latest[1]) if latest else None,
+                    "VIOLATED" if latest and latest[2] else "ok",
+                    f"{tracker.fulfillment_ratio * 100:.1f}%",
+                ]
+            )
+        return format_table(
+            ["constraint", "bound", "measured (ms)", "now", "fulfilled"], rows
+        )
+
+    def parallelism_table(self) -> str:
+        """Current and bounded parallelism per vertex."""
+        job = self._job()
+        if job is None:
+            return "(no job)"
+        rows = []
+        for name, rv in job.runtime.vertices.items():
+            jv = rv.job_vertex
+            utilization = None
+            if job.last_summary is not None:
+                vs = job.last_summary.vertex(name)
+                if vs is not None:
+                    utilization = f"{vs.utilization:.2f}"
+            rows.append(
+                [
+                    name,
+                    rv.parallelism,
+                    f"[{jv.min_parallelism}, {jv.max_parallelism}]",
+                    "elastic" if jv.elastic else "fixed",
+                    utilization,
+                ]
+            )
+        return format_table(["vertex", "p", "bounds", "kind", "rho"], rows)
+
+    def series_section(self) -> str:
+        """Sparkline panel from the recorder (if attached)."""
+        if self.recorder is None or not self.recorder.rows:
+            return "(no recorder attached)"
+        rows = self.recorder.rows
+        named: List[Tuple[str, list]] = [
+            ("effective rate", [r.effective_rate for r in rows]),
+            ("cpu utilization", [r.cpu_utilization for r in rows]),
+        ]
+        job = self._job()
+        if job is not None:
+            for name, rv in job.runtime.vertices.items():
+                if rv.job_vertex.elastic:
+                    named.append((f"p({name})", [r.parallelism.get(name) for r in rows]))
+        for feed in sorted({k for r in rows for k in r.latency_mean}):
+            named.append(
+                (f"{feed} mean (ms)", [ms(r.latency_mean.get(feed)) for r in rows])
+            )
+        return series_panel("series:", named, width=self.width)
+
+    def events_section(self, last: int = 5) -> str:
+        """The most recent scaling actions."""
+        job = self._job()
+        if job is None or job.scaler is None or not job.scaler.events:
+            return "(no scaling events)"
+        lines = ["recent scaling actions:"]
+        for event in job.scaler.events[-last:]:
+            changes = ", ".join(
+                f"{vertex}{delta:+d}" for vertex, delta in event.applied.items()
+            ) or "none applied"
+            lines.append(f"  t={event.time:7.1f}s  [{event.reason}]  {changes}")
+        return "\n".join(lines)
+
+    def diagnostics_section(self) -> str:
+        """Assumption findings (hot spots / load skew), if any."""
+        job = self._job()
+        if job is None:
+            return ""
+        findings = job.check_assumptions()
+        if not findings:
+            return "assumptions: ok (no hot spots, no load skew)"
+        lines = ["assumption findings:"]
+        for finding in findings[:8]:
+            lines.append(f"  ! {finding.message}")
+        if len(findings) > 8:
+            lines.append(f"  ... and {len(findings) - 8} more")
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        """The full dashboard."""
+        sections = [
+            self.header(),
+            "",
+            self.constraints_table(),
+            "",
+            self.parallelism_table(),
+            "",
+            self.series_section(),
+            "",
+            self.events_section(),
+            "",
+            self.diagnostics_section(),
+        ]
+        return "\n".join(section for section in sections if section is not None)

@@ -1,0 +1,183 @@
+"""Time-series recording for experiments.
+
+A :class:`SeriesRecorder` samples the running engine once per recording
+interval: attempted vs. effective source throughput, per-vertex
+parallelism, mean / 95th-percentile latency per sample feed (e.g. a sink
+vertex's end-to-end samples), cumulative task-seconds and mean task CPU
+utilization — the quantities plotted in the paper's Figs. 3, 6 and 8.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.engine.engine import StreamProcessingEngine
+from repro.qos.stats import percentile
+from repro.workloads.rates import RateProfile
+
+
+class SeriesRow:
+    """One recording interval's snapshot."""
+
+    __slots__ = (
+        "time",
+        "attempted_rate",
+        "effective_rate",
+        "parallelism",
+        "latency_mean",
+        "latency_p95",
+        "task_seconds",
+        "cpu_utilization",
+        "constraint_latency",
+    )
+
+    def __init__(self, time: float) -> None:
+        self.time = time
+        #: aggregate attempted source rate (items/s)
+        self.attempted_rate = 0.0
+        #: aggregate effective source rate (items/s)
+        self.effective_rate = 0.0
+        #: vertex name -> effective parallelism
+        self.parallelism: Dict[str, int] = {}
+        #: feed name -> mean latency over the interval (seconds, or None)
+        self.latency_mean: Dict[str, Optional[float]] = {}
+        #: feed name -> p95 latency over the interval (seconds, or None)
+        self.latency_p95: Dict[str, Optional[float]] = {}
+        #: cumulative task-seconds at the end of the interval
+        self.task_seconds = 0.0
+        #: mean CPU utilization over the live tasks (0..1)
+        self.cpu_utilization = 0.0
+        #: constraint name -> summary-measured sequence latency (or None)
+        self.constraint_latency: Dict[str, Optional[float]] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SeriesRow(t={self.time:.0f}, p={self.parallelism})"
+
+
+class SeriesRecorder:
+    """Samples engine state once per recording interval.
+
+    May be created before or after :meth:`StreamProcessingEngine.submit`
+    (ticks are skipped until a job is deployed) — creating it before
+    submit allows combining probe feeds with
+    :meth:`StreamProcessingEngine.add_vertex_probe`.
+    """
+
+    def __init__(
+        self,
+        engine: StreamProcessingEngine,
+        interval: float = 5.0,
+        source_vertex: Optional[str] = None,
+        source_profile: Optional[RateProfile] = None,
+    ) -> None:
+        self.engine = engine
+        self.interval = interval
+        self.source_vertex = source_vertex
+        self.source_profile = source_profile
+        self.rows: List[SeriesRow] = []
+        self._feeds: Dict[str, Callable[[], List[Tuple[float, float]]]] = {}
+        self._last_busy: Dict[int, float] = {}
+        self._last_emitted = 0
+        engine.sim.every(interval, self._tick, start_delay=interval + 2e-6)
+
+    # ------------------------------------------------------------------
+    # feeds
+    # ------------------------------------------------------------------
+
+    def add_sink_feed(self, name: str, sink_vertex: str) -> None:
+        """Record e2e latency stats of a sink vertex's samples."""
+        self._feeds[name] = lambda: self.engine.drain_sink_samples(sink_vertex)
+
+    def add_probe_feed(self, name: str) -> Callable[[float, object], None]:
+        """Create a custom feed; returns the probe to install on a vertex.
+
+        Pass the returned callable to
+        :meth:`StreamProcessingEngine.add_vertex_probe` (before submit) or
+        call it manually with ``(latency_seconds, payload)``.
+        """
+        samples: List[Tuple[float, float]] = []
+
+        def probe(latency: float, payload: object) -> None:
+            samples.append((self.engine.sim.now, latency))
+
+        def drain() -> List[Tuple[float, float]]:
+            out = list(samples)
+            samples.clear()
+            return out
+
+        self._feeds[name] = drain
+        return probe
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        engine = self.engine
+        runtime = engine.runtime
+        if runtime is None:
+            return
+        row = SeriesRow(engine.sim.now)
+        for name, rv in runtime.vertices.items():
+            row.parallelism[name] = rv.parallelism
+        # throughput
+        if self.source_vertex is not None:
+            sources = runtime.vertex(self.source_vertex).tasks
+            if self.source_profile is not None:
+                row.attempted_rate = self.source_profile.rate(engine.sim.now) * max(
+                    1, len(sources)
+                )
+            emitted = sum(t.items_processed for t in sources)
+            row.effective_rate = (emitted - self._last_emitted) / self.interval
+            self._last_emitted = emitted
+        # latency feeds
+        for name, drain in self._feeds.items():
+            samples = [latency for _, latency in drain()]
+            if samples:
+                row.latency_mean[name] = sum(samples) / len(samples)
+                row.latency_p95[name] = percentile(samples, 95.0)
+            else:
+                row.latency_mean[name] = None
+                row.latency_p95[name] = None
+        # constraint view (summary-based, as the trackers see it)
+        if engine.last_summary is not None:
+            for constraint in engine.constraints:
+                row.constraint_latency[constraint.name] = constraint.measured_latency(
+                    engine.last_summary
+                )
+        # resources and utilization
+        row.task_seconds = engine.resources.task_seconds()
+        utilizations = []
+        seen = set()
+        for task in runtime.all_tasks():
+            seen.add(task.uid)
+            last = self._last_busy.get(task.uid, task.busy_time)
+            delta = task.busy_time - last
+            self._last_busy[task.uid] = task.busy_time
+            utilizations.append(min(1.0, max(0.0, delta / self.interval)))
+        for uid in [uid for uid in self._last_busy if uid not in seen]:
+            del self._last_busy[uid]
+        row.cpu_utilization = sum(utilizations) / len(utilizations) if utilizations else 0.0
+        self.rows.append(row)
+
+    # ------------------------------------------------------------------
+    # aggregation helpers
+    # ------------------------------------------------------------------
+
+    def mean_cpu_utilization(self) -> float:
+        """Mean of the per-interval mean utilizations (paper: 55.7 %)."""
+        if not self.rows:
+            return 0.0
+        return sum(r.cpu_utilization for r in self.rows) / len(self.rows)
+
+    def peak_effective_rate(self) -> float:
+        """Maximum effective source throughput over the run."""
+        return max((r.effective_rate for r in self.rows), default=0.0)
+
+    def latency_series(self, feed: str) -> List[Tuple[float, Optional[float], Optional[float]]]:
+        """(time, mean, p95) triples for one feed."""
+        return [(r.time, r.latency_mean.get(feed), r.latency_p95.get(feed)) for r in self.rows]
+
+    def parallelism_series(self, vertex: str) -> List[Tuple[float, int]]:
+        """(time, parallelism) for one vertex."""
+        return [(r.time, r.parallelism.get(vertex, 0)) for r in self.rows]

@@ -1,0 +1,64 @@
+"""Plain-text reporting and CSV export for experiment results.
+
+The harnesses print the same rows/series the paper's figures show; these
+helpers keep the formatting consistent and write machine-readable CSVs
+next to the console output when asked.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    materialized: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def write_csv(path: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Write rows to ``path`` (directories are created); returns the path."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(["" if cell is None else cell for cell in row])
+    return path
+
+
+def ms(value: Optional[float]) -> Optional[float]:
+    """Seconds → milliseconds (None-preserving)."""
+    return None if value is None else value * 1000.0

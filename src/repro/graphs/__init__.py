@@ -1,0 +1,33 @@
+"""Job-graph and runtime-graph model (paper Sec. II-A).
+
+A *job graph* is the user-supplied DAG of :class:`JobVertex` objects (each
+carrying a UDF factory and current/min/max degrees of parallelism)
+connected by :class:`JobEdge` objects (each carrying a wiring pattern).
+At deployment the engine expands it into a *runtime graph* of tasks and
+channels (see :mod:`repro.engine`).
+
+A :class:`JobSequence` is an alternating tuple of connected vertices and
+edges over which latency constraints are declared.
+"""
+
+from repro.graphs.job_graph import JobGraph, JobVertex, JobEdge
+from repro.graphs.sequences import JobSequence
+from repro.graphs.partitioning import (
+    Partitioner,
+    RoundRobinPartitioner,
+    KeyPartitioner,
+    BroadcastPartitioner,
+    make_partitioner,
+)
+
+__all__ = [
+    "JobGraph",
+    "JobVertex",
+    "JobEdge",
+    "JobSequence",
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "KeyPartitioner",
+    "BroadcastPartitioner",
+    "make_partitioner",
+]

@@ -1,0 +1,31 @@
+"""QoS measurement architecture (paper Sec. IV-B, Table I).
+
+QoS *reporters* continuously sample task latency, service time,
+interarrival time, channel latency and output-batch latency for the
+runtime tasks/channels they are attached to, and report aggregates to
+QoS *managers* once per measurement interval. Managers build *partial
+summaries*; the master merges them into the *global summary* that feeds
+the latency model, and distributes adaptive-output-batching deadlines
+back to the channels.
+"""
+
+from repro.qos.stats import OnlineStats, WindowedStats, percentile
+from repro.qos.measurements import TaskMeasurement, ChannelMeasurement
+from repro.qos.summary import VertexSummary, EdgeSummary, GlobalSummary, merge_partial_summaries
+from repro.qos.reporter import TaskReporter, ChannelReporter
+from repro.qos.manager import QoSManager
+
+__all__ = [
+    "OnlineStats",
+    "WindowedStats",
+    "percentile",
+    "TaskMeasurement",
+    "ChannelMeasurement",
+    "VertexSummary",
+    "EdgeSummary",
+    "GlobalSummary",
+    "merge_partial_summaries",
+    "TaskReporter",
+    "ChannelReporter",
+    "QoSManager",
+]

@@ -1,0 +1,143 @@
+"""Runtime diagnostics for the paper's operating assumptions (Sec. IV-A).
+
+The strategy's correctness rests on three assumptions: (a) homogeneous
+worker nodes, (b) effective load balancing, (c) elastically scalable
+UDFs. (c) is declared statically on the job graph; (a) and (b) are
+*runtime* properties this module checks from the per-task measurement
+windows: a task whose service time is far above its vertex's median
+indicates a slow worker (hot spot), and a task whose arrival rate
+deviates strongly indicates load skew. The engine surfaces the findings
+so operators learn *why* the latency model misbehaves instead of
+debugging erratic scaling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+#: diagnostic kinds
+HOT_SPOT = "hot-spot"
+LOAD_SKEW = "load-skew"
+
+
+class Finding:
+    """One assumption violation detected from measurements."""
+
+    __slots__ = ("kind", "vertex_name", "task_id", "ratio", "message")
+
+    def __init__(self, kind: str, vertex_name: str, task_id: str, ratio: float) -> None:
+        self.kind = kind
+        self.vertex_name = vertex_name
+        self.task_id = task_id
+        self.ratio = ratio
+        if kind == HOT_SPOT:
+            self.message = (
+                f"task {task_id} of {vertex_name!r} serves {ratio:.1f}x slower than "
+                "its peers — likely a slow worker (violates the homogeneity "
+                "assumption, Sec. IV-A a)"
+            )
+        else:
+            self.message = (
+                f"task {task_id} of {vertex_name!r} receives {ratio:.1f}x the median "
+                "arrival rate — load skew (violates the effective-load-balancing "
+                "assumption, Sec. IV-A b)"
+            )
+
+    def __repr__(self) -> str:
+        return f"Finding({self.kind}, {self.task_id}, x{self.ratio:.2f})"
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+class AssumptionChecker:
+    """Detects hot spots and load skew from per-task measurements.
+
+    Parameters
+    ----------
+    service_ratio:
+        A task is flagged as a hot spot when its windowed mean service
+        time exceeds ``service_ratio`` x its vertex's median.
+    arrival_ratio:
+        A task is flagged for skew when its arrival rate exceeds
+        ``arrival_ratio`` x the vertex median (or falls below the
+        reciprocal).
+    min_tasks:
+        Vertices with fewer measured tasks are skipped (no meaningful
+        median).
+    """
+
+    def __init__(
+        self,
+        service_ratio: float = 2.0,
+        arrival_ratio: float = 2.0,
+        min_tasks: int = 3,
+    ) -> None:
+        if service_ratio <= 1.0 or arrival_ratio <= 1.0:
+            raise ValueError("ratios must be > 1")
+        if min_tasks < 2:
+            raise ValueError("min_tasks must be >= 2")
+        self.service_ratio = service_ratio
+        self.arrival_ratio = arrival_ratio
+        self.min_tasks = min_tasks
+
+    def check(
+        self,
+        per_task_service: Dict[str, Dict[str, float]],
+        per_task_arrival_rate: Dict[str, Dict[str, float]],
+    ) -> List[Finding]:
+        """Analyze ``{vertex: {task_id: value}}`` maps; returns findings."""
+        findings: List[Finding] = []
+        for vertex, tasks in per_task_service.items():
+            values = {tid: v for tid, v in tasks.items() if v > 0}
+            if len(values) < self.min_tasks:
+                continue
+            median = _median(list(values.values()))
+            if median <= 0:
+                continue
+            for task_id, value in values.items():
+                ratio = value / median
+                if ratio >= self.service_ratio:
+                    findings.append(Finding(HOT_SPOT, vertex, task_id, ratio))
+        for vertex, tasks in per_task_arrival_rate.items():
+            values = {tid: v for tid, v in tasks.items() if v > 0}
+            if len(values) < self.min_tasks:
+                continue
+            median = _median(list(values.values()))
+            if median <= 0:
+                continue
+            for task_id, value in values.items():
+                ratio = value / median
+                if ratio >= self.arrival_ratio or ratio <= 1.0 / self.arrival_ratio:
+                    findings.append(
+                        Finding(LOAD_SKEW, vertex, task_id, max(ratio, 1.0 / ratio))
+                    )
+        return findings
+
+
+def collect_per_task_measurements(managers) -> tuple:
+    """Pull ``{vertex: {task_id: value}}`` maps out of QoS managers.
+
+    Returns ``(service_map, arrival_rate_map)`` built from the managers'
+    sliding windows (same data the summaries aggregate, before the
+    per-vertex averaging that hides stragglers).
+    """
+    service: Dict[str, Dict[str, float]] = {}
+    arrivals: Dict[str, Dict[str, float]] = {}
+    for manager in managers:
+        for task, _reporter, windows in manager._tasks.values():
+            if task.state == "stopped":
+                continue
+            if windows.service.has_data:
+                service.setdefault(task.vertex_name, {})[task.task_id] = windows.service.mean
+            if windows.interarrival.has_data and windows.interarrival.mean > 0:
+                arrivals.setdefault(task.vertex_name, {})[task.task_id] = (
+                    1.0 / windows.interarrival.mean
+                )
+    return service, arrivals

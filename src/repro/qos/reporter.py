@@ -1,0 +1,78 @@
+"""QoS reporters: continuous sampling on tasks and channels.
+
+A :class:`TaskReporter` is attached to every latency-constrained runtime
+task and a :class:`ChannelReporter` to every constrained channel. The
+hosting component feeds raw samples (the engine calls ``record_*`` from
+the hot path); once per measurement interval the QoS manager drains the
+accumulators into :mod:`~repro.qos.measurements` records (paper: reporters
+"report to QoS managers once per measurement interval").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.qos.measurements import ChannelMeasurement, TaskMeasurement
+from repro.qos.stats import OnlineStats
+
+
+class TaskReporter:
+    """Accumulates one task's Table-I samples for the current interval."""
+
+    def __init__(self, vertex_name: str, task_id: str) -> None:
+        self.vertex_name = vertex_name
+        self.task_id = task_id
+        self._task_latency = OnlineStats()
+        self._service = OnlineStats()
+        self._interarrival = OnlineStats()
+
+    def record_task_latency(self, value: float) -> None:
+        """One task-latency sample (RR or RW per the UDF's mode)."""
+        self._task_latency.add(value)
+
+    def record_service_time(self, value: float) -> None:
+        """One service-time sample (read-ready span, includes blocking)."""
+        self._service.add(value)
+
+    def record_interarrival(self, value: float) -> None:
+        """One interarrival-time sample (measured at queue ingress)."""
+        self._interarrival.add(value)
+
+    def flush(self, now: float) -> TaskMeasurement:
+        """Freeze and reset the interval accumulators."""
+        return TaskMeasurement(
+            self.vertex_name,
+            self.task_id,
+            now,
+            self._task_latency.snapshot_and_reset(),
+            self._service.snapshot_and_reset(),
+            self._interarrival.snapshot_and_reset(),
+        )
+
+
+class ChannelReporter:
+    """Accumulates one channel's Table-I samples for the current interval."""
+
+    def __init__(self, edge_name: str, channel_id: int) -> None:
+        self.edge_name = edge_name
+        self.channel_id = channel_id
+        self._latency = OnlineStats()
+        self._obl = OnlineStats()
+
+    def record_channel_latency(self, value: float) -> None:
+        """One channel-latency sample (emit → consume)."""
+        self._latency.add(value)
+
+    def record_output_batch_latency(self, value: float) -> None:
+        """One output-batch-latency sample (emit → ship)."""
+        self._obl.add(value)
+
+    def flush(self, now: float) -> ChannelMeasurement:
+        """Freeze and reset the interval accumulators."""
+        return ChannelMeasurement(
+            self.edge_name,
+            self.channel_id,
+            now,
+            self._latency.snapshot_and_reset(),
+            self._obl.snapshot_and_reset(),
+        )

@@ -1,0 +1,259 @@
+"""Streaming statistics primitives.
+
+:class:`OnlineStats` is a numerically stable (Welford) accumulator for
+mean/variance, used by the QoS reporters to summarize the samples of one
+measurement interval. :class:`WindowedStats` keeps the last *m* interval
+aggregates, matching the paper's Eq. (2) averaging over the past *m*
+measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, List, Optional, Sequence
+
+
+class OnlineStats:
+    """Welford accumulator for count / mean / variance / min / max.
+
+    Example
+    -------
+    >>> s = OnlineStats()
+    >>> for x in (1.0, 2.0, 3.0):
+    ...     s.add(x)
+    >>> s.mean
+    2.0
+    >>> round(s.variance, 6)
+    1.0
+    """
+
+    __slots__ = ("count", "mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Incorporate one sample."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (``n-1`` denominator); 0.0 for n < 2."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation ``stdev / mean`` (0.0 if mean == 0)."""
+        if self.count < 2 or self.mean == 0.0:
+            return 0.0
+        return self.stdev / self.mean
+
+    def reset(self) -> None:
+        """Clear all accumulated state."""
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def snapshot_and_reset(self) -> "StatsSnapshot":
+        """Freeze the current aggregate and reset the accumulator."""
+        snap = StatsSnapshot(self.count, self.mean, self.variance)
+        self.reset()
+        return snap
+
+    def __repr__(self) -> str:
+        return f"OnlineStats(n={self.count}, mean={self.mean:.6g}, var={self.variance:.6g})"
+
+
+class StatsSnapshot:
+    """An immutable (count, mean, variance) triple for one interval."""
+
+    __slots__ = ("count", "mean", "variance")
+
+    def __init__(self, count: int, mean: float, variance: float) -> None:
+        self.count = count
+        self.mean = mean
+        self.variance = variance
+
+    @property
+    def stdev(self) -> float:
+        """Standard deviation of the snapshot."""
+        return math.sqrt(self.variance)
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation of the snapshot."""
+        if self.mean == 0.0:
+            return 0.0
+        return self.stdev / self.mean
+
+    def __repr__(self) -> str:
+        return f"StatsSnapshot(n={self.count}, mean={self.mean:.6g})"
+
+
+class WindowedStats:
+    """Keeps the last ``window`` interval snapshots and pools them.
+
+    This realizes the paper's Eq. (2): summary values are means over the
+    past *m* per-interval measurements. Pooled variance uses the standard
+    combination of within- and between-group sums of squares so the
+    coefficient of variation reflects all samples in the window.
+
+    Empty snapshots still advance the window: *m* silent intervals evict
+    everything, so stale measurements from a past burst cannot linger on
+    a now-idle task or channel (they would otherwise freeze the latency
+    model's view of it).
+    """
+
+    def __init__(self, window: int = 5) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1 (got {window})")
+        self.window = window
+        self._snaps: Deque[StatsSnapshot] = deque(maxlen=window)
+
+    def push(self, snap: StatsSnapshot) -> None:
+        """Append one interval snapshot (empty ones age the window)."""
+        self._snaps.append(snap)
+
+    def _filled(self) -> List[StatsSnapshot]:
+        return [s for s in self._snaps if s.count > 0]
+
+    @property
+    def has_data(self) -> bool:
+        """Whether any non-empty snapshot is in the window."""
+        return any(s.count > 0 for s in self._snaps)
+
+    @property
+    def count(self) -> int:
+        """Total number of samples pooled in the window."""
+        return sum(s.count for s in self._snaps)
+
+    @property
+    def mean(self) -> float:
+        """Unweighted mean of the non-empty interval means (paper Eq. 2)."""
+        filled = self._filled()
+        if not filled:
+            return 0.0
+        return sum(s.mean for s in filled) / len(filled)
+
+    @property
+    def weighted_mean(self) -> float:
+        """Sample-count-weighted mean across the window."""
+        total = self.count
+        if total == 0:
+            return 0.0
+        return sum(s.mean * s.count for s in self._snaps) / total
+
+    @property
+    def variance(self) -> float:
+        """Pooled variance across the window's snapshots."""
+        total = self.count
+        if total < 2:
+            return 0.0
+        grand = self.weighted_mean
+        ssq = 0.0
+        for s in self._filled():
+            ssq += s.variance * max(0, s.count - 1)
+            ssq += s.count * (s.mean - grand) ** 2
+        return ssq / (total - 1)
+
+    @property
+    def cv(self) -> float:
+        """Pooled coefficient of variation across the window."""
+        mean = self.weighted_mean
+        if mean == 0.0:
+            return 0.0
+        return math.sqrt(self.variance) / mean
+
+    def clear(self) -> None:
+        """Drop all snapshots."""
+        self._snaps.clear()
+
+
+class ReservoirSampler:
+    """Fixed-memory uniform sample of an unbounded stream (Algorithm R).
+
+    Used where per-item retention would be unbounded (e.g. long latency
+    feeds between recorder drains): keeps a uniform random subset of at
+    most ``capacity`` values, from which percentiles stay unbiased.
+    """
+
+    def __init__(self, capacity: int, seed: int = 0x5EED) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1 (got {capacity})")
+        self.capacity = capacity
+        self._rng = __import__("random").Random(seed)
+        self._values: List[float] = []
+        self.seen = 0
+
+    def add(self, value: float) -> None:
+        """Offer one value to the reservoir."""
+        self.seen += 1
+        if len(self._values) < self.capacity:
+            self._values.append(value)
+            return
+        index = self._rng.randrange(self.seen)
+        if index < self.capacity:
+            self._values[index] = value
+
+    def values(self) -> List[float]:
+        """The current sample (at most ``capacity`` values)."""
+        return list(self._values)
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Percentile of the sample (None while empty)."""
+        return percentile(self._values, q)
+
+    def drain(self) -> List[float]:
+        """Take the sample and reset the reservoir."""
+        values = self._values
+        self._values = []
+        self.seen = 0
+        return values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+def percentile(samples: Sequence[float], q: float) -> Optional[float]:
+    """Return the ``q``-th percentile (0..100) via linear interpolation.
+
+    Returns ``None`` on an empty sequence. Used by the experiment
+    recorders for the paper's 95th-percentile latency series.
+    """
+    if not samples:
+        return None
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered: List[float] = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    interpolated = ordered[low] * (1.0 - frac) + ordered[high] * frac
+    # Clamp away interpolation rounding (can escape [low, high] by 1 ulp).
+    return min(max(interpolated, ordered[low]), ordered[high])

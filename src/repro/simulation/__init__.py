@@ -1,0 +1,32 @@
+"""Discrete-event simulation kernel.
+
+This subpackage provides the simulation substrate on which the stream
+processing engine runs: a deterministic event-driven :class:`Simulator`
+with a virtual clock, cancellable :class:`Event` handles, and seeded
+random-variate streams for service times, interarrival times and other
+stochastic model inputs.
+"""
+
+from repro.simulation.events import Event
+from repro.simulation.kernel import Simulator
+from repro.simulation.randomness import (
+    Distribution,
+    Deterministic,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Uniform,
+    RandomStreams,
+)
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Distribution",
+    "Deterministic",
+    "Exponential",
+    "Gamma",
+    "LogNormal",
+    "Uniform",
+    "RandomStreams",
+]

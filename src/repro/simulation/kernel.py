@@ -1,0 +1,189 @@
+"""The discrete-event simulation kernel.
+
+The :class:`Simulator` maintains a virtual clock and a binary heap of
+pending :class:`~repro.simulation.events.Event` objects. Components of the
+simulated stream processing engine (tasks, channels, the elastic scaler,
+workload sources, ...) schedule callbacks on the shared simulator; the
+kernel fires them in non-decreasing time order.
+
+The kernel is single-threaded and deterministic: events scheduled for the
+same instant fire in the order they were scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.simulation.events import Event
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (e.g. scheduling into the past)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with a virtual clock.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    1.5
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+        self._fired_events = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def fired_events(self) -> int:
+        """Total number of events fired so far (excludes cancelled)."""
+        return self._fired_events
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now.
+
+        Returns the :class:`Event` handle, which may be cancelled.
+        ``delay`` must be non-negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to fire at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        event = Event(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would fire strictly after
+            ``until`` and advance the clock to ``until``. If omitted, run
+            until the event heap is exhausted.
+        max_events:
+            Optional safety valve: stop after firing this many events.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                self._fired_events += 1
+                fired += 1
+                event.callback(*event.args)
+                if max_events is not None and fired >= max_events:
+                    break
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Fire exactly the next pending event.
+
+        Returns ``True`` if an event fired, ``False`` if the heap is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._fired_events += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        start_delay: Optional[float] = None,
+    ) -> "PeriodicProcess":
+        """Fire ``callback(*args)`` every ``interval`` seconds.
+
+        The first firing happens after ``start_delay`` (defaults to
+        ``interval``). Returns a :class:`PeriodicProcess` handle whose
+        :meth:`~PeriodicProcess.stop` method halts the recurrence.
+        """
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive (got {interval})")
+        first = interval if start_delay is None else start_delay
+        return PeriodicProcess(self, interval, callback, args, first)
+
+
+class PeriodicProcess:
+    """Handle for a recurring callback created by :meth:`Simulator.every`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[..., Any],
+        args: tuple,
+        first_delay: float,
+    ) -> None:
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._args = args
+        self._stopped = False
+        self._event: Optional[Event] = sim.schedule(first_delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback(*self._args)
+        if not self._stopped:
+            self._event = self._sim.schedule(self.interval, self._fire)
+
+    def stop(self) -> None:
+        """Stop the recurrence; a pending firing is cancelled."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def stopped(self) -> bool:
+        """Whether :meth:`stop` has been called."""
+        return self._stopped

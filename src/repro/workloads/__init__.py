@@ -1,0 +1,47 @@
+"""Workloads: the paper's two evaluation jobs plus their load generators.
+
+* :mod:`repro.workloads.rates` — rate profiles: the PrimeTester step
+  phases (warm-up / increment / plateau / decrement, Sec. III-A) and the
+  diurnal + burst tweet-rate model (Sec. V-B);
+* :mod:`repro.workloads.primetester` — the PrimeTester job (Fig. 2);
+* :mod:`repro.workloads.tweets` — a synthetic Twitter trace generator
+  (substitute for the paper's 69 GB two-week dataset);
+* :mod:`repro.workloads.sentiment` — a lexicon-based sentiment analyzer
+  (substitute for LingPipe);
+* :mod:`repro.workloads.twitter_job` — the TwitterSentiment job (Fig. 7)
+  with the paper's two latency constraints.
+"""
+
+from repro.workloads.rates import (
+    RateProfile,
+    ConstantRate,
+    PiecewiseRate,
+    DiurnalRate,
+    step_phase_segments,
+)
+from repro.workloads.primetester import (
+    PrimeTesterParams,
+    build_primetester_job,
+    is_probable_prime,
+)
+from repro.workloads.tweets import Tweet, TweetTraceGenerator, TweetTraceParams
+from repro.workloads.sentiment import SentimentAnalyzer, SENTIMENT_LEXICON
+from repro.workloads.twitter_job import TwitterSentimentParams, build_twitter_sentiment_job
+
+__all__ = [
+    "RateProfile",
+    "ConstantRate",
+    "PiecewiseRate",
+    "DiurnalRate",
+    "step_phase_segments",
+    "PrimeTesterParams",
+    "build_primetester_job",
+    "is_probable_prime",
+    "Tweet",
+    "TweetTraceGenerator",
+    "TweetTraceParams",
+    "SentimentAnalyzer",
+    "SENTIMENT_LEXICON",
+    "TwitterSentimentParams",
+    "build_twitter_sentiment_job",
+]

@@ -1,0 +1,122 @@
+"""Synthetic tweet-trace generation (substitute for the paper's dataset).
+
+The paper replays 69 GB of real English tweets (two weeks, North
+America) whose rate shows "significant daily highs and lows" and whose
+peak (6 734 tweets/s) "seemed to affect one or very few topics". We
+reproduce the load-relevant structure synthetically:
+
+* topic popularity follows a Zipf distribution over a topic universe;
+* each tweet mentions 1-3 topics and carries sentiment-bearing text
+  composed from templates, so the Filter/Sentiment stages do real work;
+* during a configurable *burst window* most tweets concentrate on a
+  single topic (driving the paper's Sentiment-vertex load spike);
+* the tweet *rate* itself is shaped separately by
+  :class:`~repro.workloads.rates.DiurnalRate`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+class Tweet:
+    """One synthetic tweet payload."""
+
+    __slots__ = ("text", "topics", "author")
+
+    def __init__(self, text: str, topics: Tuple[str, ...], author: str) -> None:
+        self.text = text
+        self.topics = topics
+        self.author = author
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Tweet({self.topics}, {self.text[:32]!r})"
+
+
+#: sentence templates; ``{}`` is replaced by the topic
+_TEMPLATES_POSITIVE = (
+    "i love {} so much", "{} is awesome today", "what a great {} moment",
+    "{} was amazing, best day", "really enjoy {} a lot",
+)
+_TEMPLATES_NEGATIVE = (
+    "i hate {} right now", "{} is awful today", "worst {} ever, terrible",
+    "{} was a disaster", "so tired of {} failing",
+)
+_TEMPLATES_NEUTRAL = (
+    "watching {} right now", "reading about {}", "{} is happening again",
+    "more news about {}", "just saw {} downtown",
+)
+
+
+@dataclass
+class TweetTraceParams:
+    """Shape of the synthetic tweet stream."""
+
+    #: number of distinct topics in the universe
+    n_topics: int = 200
+    #: Zipf skew of topic popularity (1.0 ≈ classic web popularity)
+    zipf_s: float = 1.1
+    #: probability that a tweet mentions a 2nd / 3rd topic
+    extra_topic_prob: float = 0.25
+    #: mix of positive / negative (rest neutral)
+    positive_prob: float = 0.30
+    negative_prob: float = 0.25
+    #: burst windows: (start, end, topic_index, concentration)
+    bursts: Sequence[Tuple[float, float, int, float]] = field(default_factory=tuple)
+
+
+class TweetTraceGenerator:
+    """Draws tweets according to :class:`TweetTraceParams`."""
+
+    def __init__(self, params: Optional[TweetTraceParams] = None) -> None:
+        self.params = params or TweetTraceParams()
+        if self.params.n_topics < 1:
+            raise ValueError("need at least one topic")
+        self.topics: List[str] = [f"#topic{i:03d}" for i in range(self.params.n_topics)]
+        # Zipf CDF over the topic universe (rank 1 most popular).
+        weights = [1.0 / (rank ** self.params.zipf_s) for rank in range(1, self.params.n_topics + 1)]
+        total = sum(weights)
+        self._cdf: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+
+    def _draw_topic(self, rng: random.Random) -> str:
+        u = rng.random()
+        lo, hi = 0, len(self._cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.topics[lo]
+
+    def _burst_topic(self, now: float, rng: random.Random) -> Optional[str]:
+        for start, end, topic_index, concentration in self.params.bursts:
+            if start <= now < end and rng.random() < concentration:
+                return self.topics[topic_index % len(self.topics)]
+        return None
+
+    def generate(self, now: float, rng: random.Random) -> Tweet:
+        """Draw one tweet at virtual time ``now``."""
+        params = self.params
+        primary = self._burst_topic(now, rng) or self._draw_topic(rng)
+        topics = [primary]
+        while len(topics) < 3 and rng.random() < params.extra_topic_prob:
+            extra = self._draw_topic(rng)
+            if extra not in topics:
+                topics.append(extra)
+        roll = rng.random()
+        if roll < params.positive_prob:
+            template = rng.choice(_TEMPLATES_POSITIVE)
+        elif roll < params.positive_prob + params.negative_prob:
+            template = rng.choice(_TEMPLATES_NEGATIVE)
+        else:
+            template = rng.choice(_TEMPLATES_NEUTRAL)
+        text = template.format(primary) + " " + " ".join(topics)
+        author = f"user{rng.randrange(100000)}"
+        return Tweet(text, tuple(topics), author)

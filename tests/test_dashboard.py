@@ -1,0 +1,80 @@
+"""Tests for the textual operations dashboard."""
+
+import pytest
+
+from repro.core.constraints import LatencyConstraint
+from repro.engine.engine import EngineConfig, StreamProcessingEngine
+from repro.experiments.dashboard import Dashboard
+from repro.experiments.recording import SeriesRecorder
+from repro.graphs.sequences import JobSequence
+
+from conftest import make_linear_job
+
+
+@pytest.fixture
+def running_setup():
+    engine = StreamProcessingEngine(EngineConfig.nephele_adaptive(elastic=True, seed=4))
+    graph = make_linear_job(source_rate=300.0, service_mean=0.004,
+                            worker_min=1, worker_max=16)
+    js = JobSequence.from_names(graph, ["Worker"], leading_edge=True, trailing_edge=True)
+    constraint = LatencyConstraint(js, 0.030)
+    recorder = SeriesRecorder(engine, interval=5.0, source_vertex="Source",
+                              source_profile=graph.vertex("Source").rate_profile)
+    recorder.add_sink_feed("e2e", "Sink")
+    engine.submit(graph, [constraint])
+    engine.run(30.0)
+    return engine, recorder
+
+
+class TestDashboard:
+    def test_header(self, running_setup):
+        engine, recorder = running_setup
+        header = Dashboard(engine, recorder).header()
+        assert "t=30s" in header
+        assert "jobs=1" in header
+
+    def test_constraints_table(self, running_setup):
+        engine, recorder = running_setup
+        table = Dashboard(engine, recorder).constraints_table()
+        assert "30 ms" in table
+        assert "fulfilled" in table
+
+    def test_parallelism_table(self, running_setup):
+        engine, recorder = running_setup
+        table = Dashboard(engine, recorder).parallelism_table()
+        assert "Worker" in table
+        assert "elastic" in table
+        assert "fixed" in table
+
+    def test_series_section(self, running_setup):
+        engine, recorder = running_setup
+        section = Dashboard(engine, recorder).series_section()
+        assert "effective rate" in section
+        assert "e2e mean (ms)" in section
+        assert "p(Worker)" in section
+
+    def test_events_section(self, running_setup):
+        engine, recorder = running_setup
+        section = Dashboard(engine, recorder).events_section()
+        # under this load the scaler acts at least once
+        assert "scaling" in section
+
+    def test_full_render(self, running_setup):
+        engine, recorder = running_setup
+        text = Dashboard(engine, recorder).render()
+        assert "t=30s" in text
+        assert "Worker" in text
+        assert "assumptions" in text or "assumption findings" in text
+
+    def test_without_recorder(self, running_setup):
+        engine, _ = running_setup
+        text = Dashboard(engine).render()
+        assert "(no recorder attached)" in text
+
+    def test_before_submit(self):
+        engine = StreamProcessingEngine(EngineConfig())
+        dash = Dashboard(engine)
+        assert "(no constraints)" in dash.constraints_table()
+        assert "(no job)" in dash.parallelism_table()
+        assert "(no scaling events)" in dash.events_section()
+        assert dash.diagnostics_section() == ""

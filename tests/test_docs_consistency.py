@@ -1,0 +1,156 @@
+"""Keep documentation and packaging honest.
+
+Checks that the commands, modules and files the documentation references
+actually exist, that the public API advertised by ``repro.__all__``
+imports, and that every example script at least parses.
+"""
+
+import ast
+import importlib
+import os
+import re
+
+import pytest
+
+import repro
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def read(path):
+    with open(os.path.join(ROOT, path)) as handle:
+        return handle.read()
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_declared(self):
+        assert re.match(r"^\d+\.\d+\.\d+$", repro.__version__)
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.simulation",
+            "repro.graphs",
+            "repro.engine",
+            "repro.engine.operators",
+            "repro.qos",
+            "repro.qos.diagnostics",
+            "repro.core",
+            "repro.core.policies",
+            "repro.core.predictive",
+            "repro.analysis",
+            "repro.workloads",
+            "repro.workloads.traces",
+            "repro.builder",
+            "repro.experiments",
+            "repro.experiments.fig3_motivation",
+            "repro.experiments.fig5_surface",
+            "repro.experiments.fig6_primetester",
+            "repro.experiments.fig8_twitter",
+            "repro.experiments.sensitivity",
+            "repro.experiments.validation",
+            "repro.experiments.compare_policies",
+            "repro.experiments.ascii",
+            "repro.cli",
+        ],
+    )
+    def test_module_imports_and_has_docstring(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__, f"{module} lacks a module docstring"
+
+
+class TestReadme:
+    def test_referenced_files_exist(self):
+        readme = read("README.md")
+        for path in re.findall(r"\]\((\w[\w./-]*)\)", readme):
+            assert os.path.exists(os.path.join(ROOT, path)), path
+
+    def test_referenced_example_scripts_exist(self):
+        readme = read("README.md")
+        for script in re.findall(r"python (examples/[\w_]+\.py)", readme):
+            assert os.path.exists(os.path.join(ROOT, script)), script
+
+    def test_referenced_experiment_modules_exist(self):
+        readme = read("README.md")
+        for module in re.findall(r"python -m (repro[.\w]+)", readme):
+            importlib.import_module(module)
+
+
+class TestDesignAndExperiments:
+    def test_design_module_map_paths_exist(self):
+        """Every .py file the DESIGN module map names exists in the tree."""
+        design = read("DESIGN.md")
+        existing = set()
+        for top in ("src", "tests", "benchmarks", "examples"):
+            for dirpath, _dirnames, filenames in os.walk(os.path.join(ROOT, top)):
+                existing.update(name for name in filenames if name.endswith(".py"))
+        for path in re.findall(r"(\w[\w/]*\.py)", design):
+            assert os.path.basename(path) in existing, path
+
+    def test_experiments_md_commands_importable(self):
+        text = read("EXPERIMENTS.md")
+        for module in set(re.findall(r"python -m (repro[.\w]+)", text)):
+            importlib.import_module(module)
+
+    def test_experiments_md_bench_files_exist(self):
+        text = read("EXPERIMENTS.md")
+        for path in set(re.findall(r"`(benchmarks/[\w_]+\.py)`", text)):
+            assert os.path.exists(os.path.join(ROOT, path)), path
+        for path in set(re.findall(r"`(tests/[\w_]+\.py)`", text)):
+            assert os.path.exists(os.path.join(ROOT, path)), path
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "script",
+        sorted(
+            name
+            for name in os.listdir(os.path.join(ROOT, "examples"))
+            if name.endswith(".py")
+        ),
+    )
+    def test_example_parses_and_has_docstring(self, script):
+        source = read(os.path.join("examples", script))
+        tree = ast.parse(source)
+        assert ast.get_docstring(tree), f"{script} lacks a module docstring"
+        # every example must be directly runnable
+        assert '__main__' in source, f"{script} has no __main__ guard"
+
+    def test_at_least_five_examples(self):
+        scripts = [
+            name
+            for name in os.listdir(os.path.join(ROOT, "examples"))
+            if name.endswith(".py")
+        ]
+        assert len(scripts) >= 5
+
+
+class TestPackaging:
+    def test_setup_cfg_points_at_src(self):
+        cfg = read("setup.cfg")
+        assert "package_dir" in cfg
+        assert "= src" in cfg
+
+    def test_no_runtime_third_party_imports(self):
+        """The library must stay stdlib-only at runtime."""
+        banned = ("numpy", "scipy", "networkx", "pandas", "matplotlib")
+        for dirpath, _dirnames, filenames in os.walk(os.path.join(ROOT, "src")):
+            for filename in filenames:
+                if not filename.endswith(".py"):
+                    continue
+                source = read(os.path.join(dirpath, filename))
+                tree = ast.parse(source)
+                for node in ast.walk(tree):
+                    if isinstance(node, ast.Import):
+                        names = [alias.name for alias in node.names]
+                    elif isinstance(node, ast.ImportFrom):
+                        names = [node.module or ""]
+                    else:
+                        continue
+                    for name in names:
+                        root = name.split(".")[0]
+                        assert root not in banned, (filename, name)

@@ -1,0 +1,109 @@
+"""Integration tests: the reactive scaling strategy end to end."""
+
+import pytest
+
+from repro.core.constraints import LatencyConstraint
+from repro.engine.engine import EngineConfig, StreamProcessingEngine
+from repro.engine.udf import MapUDF, SinkUDF, SourceUDF
+from repro.graphs.job_graph import JobGraph
+from repro.graphs.sequences import JobSequence
+from repro.simulation.randomness import Gamma
+from repro.workloads.rates import ConstantRate, PiecewiseRate
+
+
+def elastic_job(profile, service_mean=0.004, p_init=4, p_min=1, p_max=32):
+    graph = JobGraph("elastic")
+    src = graph.add_vertex("Src", lambda: SourceUDF(lambda now, rng: rng.random()))
+    worker = graph.add_vertex(
+        "Worker",
+        lambda: MapUDF(lambda x: x, service_dist=Gamma(service_mean, 0.7)),
+        parallelism=p_init, min_parallelism=p_min, max_parallelism=p_max,
+    )
+    sink = graph.add_vertex("Snk", lambda: SinkUDF())
+    graph.connect(src, worker)
+    graph.connect(worker, sink)
+    src.rate_profile = profile
+    js = JobSequence.from_names(graph, ["Worker"], leading_edge=True, trailing_edge=True)
+    return graph, js
+
+
+def elastic_engine(graph, constraint, seed=5):
+    config = EngineConfig.nephele_adaptive(elastic=True, seed=seed)
+    engine = StreamProcessingEngine(config)
+    engine.submit(graph, [constraint])
+    return engine
+
+
+class TestReactiveScaling:
+    def test_scales_down_under_light_load(self):
+        graph, js = elastic_job(ConstantRate(50.0), p_init=8)
+        engine = elastic_engine(graph, LatencyConstraint(js, 0.030))
+        engine.run(60.0)
+        # 50 items/s need ~0.2 servers; Rebalance should shrink far below 8.
+        assert engine.parallelism("Worker") <= 3
+
+    def test_scales_up_when_load_rises(self):
+        profile = PiecewiseRate([(0.0, 50.0), (30.0, 1200.0)])
+        graph, js = elastic_job(profile, p_init=2)
+        engine = elastic_engine(graph, LatencyConstraint(js, 0.030))
+        engine.run(28.0)
+        low_p = engine.parallelism("Worker")
+        engine.run(60.0)
+        high_p = engine.parallelism("Worker")
+        # 1200/s x 4 ms = 4.8 busy servers minimum
+        assert high_p >= 5
+        assert high_p > low_p
+
+    def test_bottleneck_resolution_doubles(self):
+        profile = PiecewiseRate([(0.0, 1500.0)])
+        graph, js = elastic_job(profile, p_init=2)
+        engine = elastic_engine(graph, LatencyConstraint(js, 0.050))
+        engine.run(40.0)
+        # p=2 gives capacity 500/s against 1500/s offered: deep bottleneck;
+        # ResolveBottlenecks must have fired and scaled out repeatedly.
+        assert engine.parallelism("Worker") >= 6
+        assert engine.scaler is not None
+        assert any(e.reason == "bottleneck" for e in engine.scaler.events)
+
+    def test_constraint_mostly_fulfilled_steady_state(self):
+        graph, js = elastic_job(ConstantRate(400.0), p_init=4)
+        constraint = LatencyConstraint(js, 0.030)
+        engine = elastic_engine(graph, constraint)
+        engine.run(120.0)
+        tracker = engine.tracker_for(constraint)
+        assert tracker.fulfillment_ratio >= 0.8
+
+    def test_inactivity_window_after_scale_up(self):
+        profile = PiecewiseRate([(0.0, 50.0), (20.0, 1200.0)])
+        graph, js = elastic_job(profile, p_init=2)
+        engine = elastic_engine(graph, LatencyConstraint(js, 0.030))
+        engine.run(90.0)
+        scaler = engine.scaler
+        assert scaler.skipped_inactive > 0
+
+    def test_unresolvable_bottleneck_logged(self):
+        profile = PiecewiseRate([(0.0, 1500.0)])
+        graph, js = elastic_job(profile, p_init=2, p_max=3)
+        engine = elastic_engine(graph, LatencyConstraint(js, 0.030))
+        engine.run(40.0)
+        assert engine.scaler.unresolvable_log
+
+    def test_scaling_events_have_applied_deltas(self):
+        profile = PiecewiseRate([(0.0, 50.0), (20.0, 900.0)])
+        graph, js = elastic_job(profile, p_init=2)
+        engine = elastic_engine(graph, LatencyConstraint(js, 0.030))
+        engine.run(60.0)
+        events = engine.scaler.events
+        assert events
+        assert any(
+            any(delta > 0 for delta in event.applied.values()) for event in events
+        )
+
+    def test_non_elastic_engine_never_scales(self):
+        graph, js = elastic_job(ConstantRate(50.0), p_init=8)
+        config = EngineConfig.nephele_adaptive(elastic=False)
+        engine = StreamProcessingEngine(config)
+        engine.submit(graph, [LatencyConstraint(js, 0.030)])
+        engine.run(60.0)
+        assert engine.parallelism("Worker") == 8
+        assert engine.scaler is None

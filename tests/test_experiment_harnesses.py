@@ -1,0 +1,160 @@
+"""End-to-end tests of the figure harnesses on micro parameterizations.
+
+These run each harness at a tiny scale (seconds of virtual time) to
+exercise the full code path — engine construction, recording, derived
+statistics, report rendering and CSV export — without asserting the
+paper's shapes (the benchmark suite does that at a meaningful scale).
+"""
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.fig3_motivation import Fig3Params, run_config
+from repro.experiments.fig6_primetester import Fig6Params, run_baseline, run_elastic
+from repro.experiments.fig8_twitter import Fig8Params
+from repro.experiments.fig8_twitter import run as run_fig8
+from repro.workloads.primetester import PrimeTesterParams
+from repro.workloads.twitter_job import TwitterSentimentParams
+
+
+def micro_primetester(**overrides):
+    base = dict(
+        n_sources=2,
+        n_testers=2,
+        n_sinks=1,
+        tester_min=1,
+        tester_max=8,
+        warmup_rate=20.0,
+        peak_rate=80.0,
+        increment_steps=2,
+        step_duration=4.0,
+        plateau_steps=1,
+        tester_service_mean=0.002,
+        tester_service_cv=0.5,
+    )
+    base.update(overrides)
+    return PrimeTesterParams(**base)
+
+
+@pytest.fixture(scope="module")
+def fig3_config_result():
+    params = Fig3Params(workload=micro_primetester(tester_min=2, tester_max=2),
+                        recording_interval=2.0)
+    return run_config("Nephele-20ms", params), params
+
+
+class TestFig3Harness:
+    def test_rows_recorded(self, fig3_config_result):
+        result, params = fig3_config_result
+        assert len(result.rows) >= 5
+
+    def test_statistics_derived(self, fig3_config_result):
+        result, _ = fig3_config_result
+        assert result.warmup_latency is not None
+        assert result.plateau_effective_rate > 0
+
+    def test_all_config_names_buildable(self):
+        from repro.experiments.fig3_motivation import CONFIG_NAMES, _engine_config
+
+        params = Fig3Params()
+        for name in CONFIG_NAMES:
+            assert _engine_config(name, params) is not None
+        with pytest.raises(ValueError):
+            _engine_config("bogus", params)
+
+    def test_report_and_csv(self, tmp_path, fig3_config_result):
+        from repro.experiments.fig3_motivation import Fig3Result
+
+        result, params = fig3_config_result
+        figure = Fig3Result(params)
+        figure.configs["Nephele-20ms"] = result
+        text = figure.report()
+        assert "Nephele-20ms" in text
+        path = figure.series_csv(os.path.join(tmp_path, "fig3.csv"))
+        assert os.path.getsize(path) > 0
+
+
+@pytest.fixture(scope="module")
+def fig6_micro_params():
+    return Fig6Params(workload=micro_primetester(), baseline_testers=2,
+                      recording_interval=2.0, sweep_bounds=(0.050,))
+
+
+class TestFig6Harness:
+    def test_elastic_run(self, fig6_micro_params):
+        result = run_elastic(fig6_micro_params)
+        assert result.fulfillment is not None
+        assert result.task_seconds > 0
+        assert result.pt_task_seconds > 0
+        assert result.pt_task_seconds < result.task_seconds
+
+    def test_baseline_run(self, fig6_micro_params):
+        result = run_baseline(fig6_micro_params)
+        assert result.fulfillment is None  # no constraint submitted
+        assert result.min_parallelism == result.max_parallelism == 2
+
+    def test_report_renders(self, fig6_micro_params):
+        from repro.experiments.fig6_primetester import Fig6Result
+
+        figure = Fig6Result(fig6_micro_params)
+        figure.elastic = run_elastic(fig6_micro_params)
+        figure.baseline = run_baseline(fig6_micro_params)
+        text = figure.report()
+        assert "elastic-20ms" in text
+        assert "baseline-16KiB" in text
+        assert "series" in text  # sparkline panel
+
+    def test_csv_export(self, tmp_path, fig6_micro_params):
+        from repro.experiments.fig6_primetester import Fig6Result
+
+        figure = Fig6Result(fig6_micro_params)
+        figure.elastic = run_elastic(fig6_micro_params)
+        path = figure.series_csv(os.path.join(tmp_path, "fig6.csv"))
+        with open(path) as f:
+            assert "pt_parallelism" in f.readline()
+
+
+@pytest.fixture(scope="module")
+def fig8_micro_result():
+    workload = TwitterSentimentParams(
+        base_rate=40.0,
+        period=40.0,
+        bursts=((50.0, 10.0, 2.0),),
+        topic_bursts=((50.0, 60.0, 0, 0.8),),
+        ht_max=10,
+        filter_max=10,
+        sentiment_max=15,
+    )
+    params = Fig8Params(workload=workload, duration=80.0, recording_interval=4.0)
+    return run_fig8(params)
+
+
+class TestFig8Harness:
+    def test_fulfillment_tracked_for_both_constraints(self, fig8_micro_result):
+        assert len(fig8_micro_result.fulfillment) == 2
+        assert all(0.0 <= r <= 1.0 for r in fig8_micro_result.fulfillment.values())
+
+    def test_parallelism_ranges_present(self, fig8_micro_result):
+        assert set(fig8_micro_result.parallelism_ranges) == {
+            "HotTopics", "Filter", "Sentiment",
+        }
+
+    def test_burst_scaleup_computed(self, fig8_micro_result):
+        assert fig8_micro_result.sentiment_burst_scaleup is not None
+
+    def test_report_renders(self, fig8_micro_result):
+        text = fig8_micro_result.report()
+        assert "constraint-1(hot-topics)" in text
+        assert "tweets/s" in text
+
+    def test_csv_export(self, tmp_path, fig8_micro_result):
+        path = fig8_micro_result.series_csv(os.path.join(tmp_path, "fig8.csv"))
+        with open(path) as f:
+            header = f.readline()
+        assert "p_sentiment" in header
+        assert "cpu_utilization" in header
+
+    def test_cpu_utilization_sane(self, fig8_micro_result):
+        assert 0.0 < fig8_micro_result.mean_cpu_utilization < 1.0

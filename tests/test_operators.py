@@ -1,0 +1,171 @@
+"""Unit and integration tests for the streaming operator library."""
+
+import pytest
+
+from repro.engine.engine import EngineConfig, StreamProcessingEngine
+from repro.engine.operators import (
+    KeyedAggregateUDF,
+    RateEstimatorUDF,
+    SampleUDF,
+    UnionTagUDF,
+    tumbling_count,
+    tumbling_mean,
+    tumbling_sum,
+    tumbling_top_k,
+)
+from repro.engine.udf import SinkUDF, SourceUDF
+from repro.graphs.job_graph import JobGraph
+from repro.workloads.rates import ConstantRate
+
+
+class TestTumblingAggregates:
+    def test_count(self):
+        udf = tumbling_count(1.0)
+        for _ in range(5):
+            udf.process("x")
+        assert udf.flush() == (5,)
+
+    def test_count_emits_zero_for_empty_window(self):
+        assert tumbling_count(1.0).flush() == (0,)
+
+    def test_sum(self):
+        udf = tumbling_sum(1.0)
+        for v in (1.5, 2.5):
+            udf.process(v)
+        assert udf.flush() == (4.0,)
+
+    def test_sum_with_value_fn(self):
+        udf = tumbling_sum(1.0, value_fn=lambda d: d["v"])
+        udf.process({"v": 3})
+        udf.process({"v": 4})
+        assert udf.flush() == (7,)
+
+    def test_mean(self):
+        udf = tumbling_mean(1.0)
+        for v in (2.0, 4.0, 6.0):
+            udf.process(v)
+        assert udf.flush() == (4.0,)
+
+    def test_mean_empty_window_silent(self):
+        assert tumbling_mean(1.0).flush() == ()
+
+
+class TestTopK:
+    def test_counts_and_ranks(self):
+        udf = tumbling_top_k(1.0, k=2, key_fn=lambda payload: payload)
+        for keys in (["a"], ["a", "b"], ["b"], ["a"], ["c"]):
+            udf.process(keys)
+        ((top,),) = (udf.flush(),)
+        assert top[0] == ("a", 3)
+        assert top[1] == ("b", 2)
+        assert len(top) == 2
+
+    def test_ties_broken_deterministically(self):
+        udf = tumbling_top_k(1.0, k=2, key_fn=lambda payload: payload)
+        udf.process(["x", "y"])
+        (top,) = udf.flush()
+        assert [k for k, _ in top] == sorted(k for k, _ in top)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            tumbling_top_k(1.0, k=0, key_fn=lambda p: p)
+
+
+class TestKeyedAggregate:
+    def test_per_key_fold(self):
+        udf = KeyedAggregateUDF(
+            1.0,
+            key_fn=lambda d: d[0],
+            fold_init=lambda: 0,
+            fold=lambda acc, d: acc + d[1],
+        )
+        for payload in (("a", 1), ("b", 2), ("a", 3)):
+            udf.process(payload)
+        result = dict(udf.flush())
+        assert result == {"a": 4, "b": 2}
+
+    def test_window_resets_keys(self):
+        udf = KeyedAggregateUDF(
+            1.0, key_fn=lambda d: d, fold_init=lambda: 0, fold=lambda acc, d: acc + 1
+        )
+        udf.process("k")
+        udf.flush()
+        udf.process("k")
+        assert dict(udf.flush()) == {"k": 1}
+
+
+class TestSampleAndUnion:
+    def test_sample_all(self):
+        udf = SampleUDF(1.0)
+        assert list(udf.process("x")) == ["x"]
+
+    def test_sample_none(self):
+        udf = SampleUDF(0.0)
+        assert list(udf.process("x")) == []
+
+    def test_sample_fraction(self):
+        udf = SampleUDF(0.3)
+        passed = sum(bool(list(udf.process(i))) for i in range(5000))
+        assert passed == pytest.approx(1500, rel=0.1)
+
+    def test_sample_invalid_probability(self):
+        with pytest.raises(ValueError):
+            SampleUDF(1.5)
+
+    def test_union_tags(self):
+        udf = UnionTagUDF("left")
+        assert list(udf.process(7)) == [("left", 7)]
+
+
+class TestRateEstimator:
+    def test_reports_rate(self):
+        udf = RateEstimatorUDF(window=2.0)
+        for _ in range(10):
+            udf.process("x")
+        assert udf.flush() == (5.0,)
+
+    def test_zero_rate_emitted(self):
+        assert RateEstimatorUDF(window=1.0).flush() == (0.0,)
+
+
+class TestOperatorsInEngine:
+    def test_top_k_pipeline_end_to_end(self):
+        graph = JobGraph("topk")
+        letters = ["a", "a", "a", "b", "b", "c"]
+        src = graph.add_vertex(
+            "Src",
+            lambda: SourceUDF(lambda now, rng: [rng.choice(letters)]),
+        )
+        topk = graph.add_vertex(
+            "TopK", lambda: tumbling_top_k(0.5, k=1, key_fn=lambda payload: payload)
+        )
+        collected = []
+        sink = graph.add_vertex(
+            "Snk", lambda: SinkUDF(on_item=collected.append)
+        )
+        graph.connect(src, topk)
+        graph.connect(topk, sink)
+        src.rate_profile = ConstantRate(200.0, jitter="deterministic")
+        engine = StreamProcessingEngine(EngineConfig(seed=6))
+        engine.submit(graph)
+        engine.run(10.0)
+        assert collected
+        winners = [top[0][0] for top in collected if top]
+        # 'a' dominates the letter distribution, so it wins most windows.
+        assert winners.count("a") > len(winners) * 0.7
+
+    def test_rate_estimator_pipeline(self):
+        graph = JobGraph("rate")
+        src = graph.add_vertex("Src", lambda: SourceUDF(lambda now, rng: 1))
+        est = graph.add_vertex("Rate", lambda: RateEstimatorUDF(1.0))
+        rates = []
+        sink = graph.add_vertex("Snk", lambda: SinkUDF(on_item=rates.append))
+        graph.connect(src, est)
+        graph.connect(est, sink)
+        src.rate_profile = ConstantRate(150.0, jitter="deterministic")
+        engine = StreamProcessingEngine(EngineConfig(seed=6))
+        engine.submit(graph)
+        engine.run(10.0)
+        steady = rates[2:-1]
+        assert steady
+        assert sum(steady) / len(steady) == pytest.approx(150.0, rel=0.05)
