@@ -50,6 +50,15 @@ from repro.engine.udf import (
 )
 from repro.graphs.job_graph import JobEdge, JobGraph, JobVertex
 from repro.graphs.sequences import JobSequence
+from repro.simulation.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRecord,
+    MeasurementDropout,
+    ServiceSpike,
+    TaskCrash,
+    WorkerLoss,
+)
 from repro.simulation.kernel import Simulator
 from repro.simulation.randomness import (
     Deterministic,
@@ -134,6 +143,14 @@ __all__ = [
     "JobSequence",
     # simulation
     "Simulator",
+    # fault injection
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "TaskCrash",
+    "WorkerLoss",
+    "MeasurementDropout",
+    "ServiceSpike",
     "RandomStreams",
     "Distribution",
     "Deterministic",

@@ -32,6 +32,7 @@ from repro.core.constraints import LatencyConstraint
 from repro.engine.udf import FilterUDF, FlatMapUDF, MapUDF, SinkUDF, SourceUDF, UDF
 from repro.graphs.job_graph import JobGraph, JobVertex
 from repro.graphs.sequences import JobSequence
+from repro.simulation.faults import FaultPlan, FaultSpec
 from repro.simulation.randomness import Distribution
 from repro.workloads.rates import RateProfile
 
@@ -40,18 +41,32 @@ ParallelismSpec = Union[int, Tuple[int, int, int]]
 
 
 class BuiltPipeline:
-    """The builder's output: a job graph plus its latency constraints."""
+    """The builder's output: job graph, latency constraints, chaos plan."""
 
-    def __init__(self, graph: JobGraph, constraints: List[LatencyConstraint]) -> None:
+    def __init__(
+        self,
+        graph: JobGraph,
+        constraints: List[LatencyConstraint],
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         self.graph = graph
         self.constraints = constraints
+        #: deterministic chaos scenario armed at submit (None = fault-free)
+        self.fault_plan = fault_plan
 
-    def submit_to(self, engine) -> None:
-        """Convenience: ``engine.submit(graph, constraints)``."""
-        engine.submit(self.graph, self.constraints)
+    def submit_to(self, engine):
+        """Convenience: ``engine.submit(graph, constraints, fault_plan)``.
+
+        Returns the :class:`~repro.engine.engine.DeployedJob` handle.
+        """
+        return engine.submit(self.graph, self.constraints, fault_plan=self.fault_plan)
 
     def __repr__(self) -> str:
-        return f"BuiltPipeline({self.graph!r}, {len(self.constraints)} constraints)"
+        faults = len(self.fault_plan.events) if self.fault_plan else 0
+        return (
+            f"BuiltPipeline({self.graph!r}, {len(self.constraints)} constraints, "
+            f"{faults} faults)"
+        )
 
 
 def _split_parallelism(spec: ParallelismSpec) -> Tuple[int, int, int]:
@@ -72,6 +87,8 @@ class PipelineBuilder:
         self._pattern_for_next = "round_robin"
         self._key_fn_for_next: Optional[Callable[[object], object]] = None
         self._constraints: List[LatencyConstraint] = []
+        self._fault_events: List[FaultSpec] = []
+        self._fault_seed = 0
 
     # ------------------------------------------------------------------
     # stages
@@ -219,6 +236,25 @@ class PipelineBuilder:
         self._constraints.append(LatencyConstraint(sequence, bound, window, name))
         return self
 
+    def inject(self, *events: FaultSpec, seed: Optional[int] = None) -> "PipelineBuilder":
+        """Add deterministic chaos faults to the pipeline.
+
+        Accepts any :mod:`repro.simulation.faults` specs
+        (:class:`~repro.simulation.faults.TaskCrash`,
+        :class:`~repro.simulation.faults.WorkerLoss`,
+        :class:`~repro.simulation.faults.MeasurementDropout`,
+        :class:`~repro.simulation.faults.ServiceSpike`); ``seed`` drives
+        victim selection. May be called repeatedly — events accumulate.
+
+        >>> from repro.simulation.faults import TaskCrash
+        >>> _ = (PipelineBuilder("p")  # doctest: +SKIP
+        ...      .inject(TaskCrash(at=30.0, vertex="square"), seed=3))
+        """
+        self._fault_events.extend(events)
+        if seed is not None:
+            self._fault_seed = seed
+        return self
+
     def build(self) -> BuiltPipeline:
         """Validate and return the built pipeline."""
         if self._source is None:
@@ -226,4 +262,17 @@ class PipelineBuilder:
         if self._sink is None:
             raise ValueError("pipeline has no sink")
         self.graph.validate()
-        return BuiltPipeline(self.graph, list(self._constraints))
+        plan = None
+        if self._fault_events:
+            known = set(self.graph.vertices)
+            for spec in self._fault_events:
+                vertex = getattr(spec, "vertex", None)
+                if vertex is not None and vertex not in known:
+                    raise ValueError(
+                        f"fault {spec!r} targets unknown vertex {vertex!r} "
+                        f"(have: {sorted(known)})"
+                    )
+            plan = FaultPlan(
+                tuple(self._fault_events), seed=self._fault_seed, name=self.graph.name
+            )
+        return BuiltPipeline(self.graph, list(self._constraints), fault_plan=plan)

@@ -5,6 +5,10 @@ Commands
 ``experiment {fig3,fig5,fig6,fig8,all}``
     Run a paper-reproduction experiment and print its report
     (``--quick`` for the reduced variant, ``--csv DIR`` to export series).
+``chaos``
+    Run a deterministic fault-injection scenario against an elastic
+    pipeline (task crash, worker loss, measurement dropout, service
+    spike) and report how the scaler degraded gracefully.
 ``trace generate`` / ``trace info``
     Synthesize or inspect rate traces (the stand-in for the paper's
     two-week Twitter replay).
@@ -36,6 +40,26 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("name", choices=EXPERIMENTS + ("all",))
     exp.add_argument("--quick", action="store_true", help="reduced-scale variant")
     exp.add_argument("--csv", metavar="DIR", help="export series CSVs into DIR")
+
+    chaos = sub.add_parser("chaos", help="run a deterministic fault-injection scenario")
+    chaos.add_argument("--duration", type=float, default=120.0, help="virtual seconds to run")
+    chaos.add_argument("--rate", type=float, default=400.0, help="source rate (items/s)")
+    chaos.add_argument("--bound", type=float, default=0.030, help="latency bound (s)")
+    chaos.add_argument("--seed", type=int, default=7, help="engine seed")
+    chaos.add_argument("--fault-seed", type=int, default=0, help="victim-selection seed")
+    chaos.add_argument("--crash-at", type=float, default=30.0,
+                       help="crash one worker task at this time (negative = off)")
+    chaos.add_argument("--restart-delay", type=float, default=2.0,
+                       help="replacement-task delay after a crash")
+    chaos.add_argument("--dropout-at", type=float, default=30.0,
+                       help="start a QoS measurement dropout (negative = off)")
+    chaos.add_argument("--dropout-duration", type=float, default=20.0)
+    chaos.add_argument("--spike-at", type=float, default=-1.0,
+                       help="service-time spike start (negative = off)")
+    chaos.add_argument("--spike-factor", type=float, default=3.0)
+    chaos.add_argument("--spike-duration", type=float, default=10.0)
+    chaos.add_argument("--worker-loss-at", type=float, default=-1.0,
+                       help="lose one leased worker at this time (negative = off)")
 
     trace = sub.add_parser("trace", help="rate-trace tooling")
     trace_sub = trace.add_subparsers(dest="trace_command")
@@ -85,6 +109,88 @@ def _run_experiment(name: str, quick: bool, csv_dir: Optional[str]) -> None:
         print(f"series written to {path}")
 
 
+def _run_chaos(args: argparse.Namespace) -> None:
+    from repro.builder import PipelineBuilder
+    from repro.engine.engine import EngineConfig, StreamProcessingEngine
+    from repro.experiments.recording import SeriesRecorder
+    from repro.simulation.faults import (
+        MeasurementDropout,
+        ServiceSpike,
+        TaskCrash,
+        WorkerLoss,
+    )
+    from repro.simulation.randomness import Gamma
+    from repro.workloads.rates import ConstantRate
+
+    builder = (
+        PipelineBuilder("chaos")
+        .source(lambda now, rng: rng.random(), rate=ConstantRate(args.rate))
+        .map("worker", lambda x: x, service=Gamma(0.004, 0.7), parallelism=(4, 1, 32))
+        .sink()
+        .constrain(bound=args.bound)
+    )
+    if args.crash_at >= 0:
+        builder.inject(
+            TaskCrash(at=args.crash_at, vertex="worker", restart_delay=args.restart_delay)
+        )
+    if args.dropout_at >= 0:
+        builder.inject(
+            MeasurementDropout(at=args.dropout_at, duration=args.dropout_duration)
+        )
+    if args.spike_at >= 0:
+        builder.inject(
+            ServiceSpike(
+                at=args.spike_at,
+                vertex="worker",
+                factor=args.spike_factor,
+                duration=args.spike_duration,
+            )
+        )
+    if args.worker_loss_at >= 0:
+        builder.inject(WorkerLoss(at=args.worker_loss_at, restart_delay=args.restart_delay))
+    builder.inject(seed=args.fault_seed)
+    pipeline = builder.build()
+
+    engine = StreamProcessingEngine(EngineConfig(elastic=True, seed=args.seed))
+    recorder = SeriesRecorder(engine, interval=5.0, source_vertex="source",
+                              source_profile=ConstantRate(args.rate))
+    job = pipeline.submit_to(engine)
+    engine.run(args.duration)
+
+    print(f"chaos run: {args.duration:.0f}s, rate={args.rate:.0f}/s, "
+          f"bound={args.bound * 1000:.0f}ms, seed={args.seed}, "
+          f"fault-seed={args.fault_seed}")
+    print()
+    print("fault timeline:")
+    if job.fault_injector is None:
+        print("  (no faults armed)")
+    else:
+        for at, kind, target, detail in job.fault_injector.trace():
+            print(f"  t={at:7.2f}  {kind:<20s} {target:<16s} {detail}")
+    print()
+    print("worker parallelism (5 s samples):")
+    series = recorder.parallelism_series("worker")
+    print("  " + " ".join(f"{p}" for _, p in series))
+    scaler = engine.scaler
+    if scaler is not None:
+        print()
+        print(f"scaler: {len(scaler.events)} activations, "
+              f"{scaler.skipped_stale} stale constraints skipped, "
+              f"{scaler.suppressed_scale_downs} scale-downs suppressed by "
+              "recovery cooldown")
+    for tracker in engine.trackers:
+        print(f"constraint {tracker.constraint.name}: "
+              f"{tracker.fulfillment_ratio * 100:.1f}% fulfilled "
+              f"({tracker.violations} violations / {len(tracker.history)} intervals)")
+    crashes = {
+        name: rv.crashes
+        for name, rv in engine.runtime.vertices.items()
+        if rv.crashes
+    }
+    if crashes:
+        print(f"crashes by vertex: {crashes}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -103,6 +209,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         names = EXPERIMENTS if args.name == "all" else (args.name,)
         for name in names:
             _run_experiment(name, args.quick, args.csv)
+        return 0
+    if args.command == "chaos":
+        _run_chaos(args)
         return 0
     if args.command == "trace":
         if args.trace_command == "generate":

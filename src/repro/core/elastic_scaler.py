@@ -49,6 +49,7 @@ class ElasticScaler:
         policy: ScaleReactivelyPolicy,
         adjustment_interval: float = 5.0,
         inactivity_intervals: int = 2,
+        recovery_cooldown: float = 15.0,
     ) -> None:
         self.sim = sim
         self.scheduler = scheduler
@@ -56,18 +57,43 @@ class ElasticScaler:
         self.policy = policy
         self.adjustment_interval = adjustment_interval
         self.inactivity_intervals = inactivity_intervals
+        #: seconds after a fault / fault recovery during which
+        #: scale-downs are suppressed (measurements right after a crash
+        #: or dropout under-report load; shrinking on them oscillates)
+        self.recovery_cooldown = recovery_cooldown
         self._inactive_until = 0.0
+        self._no_scale_down_until = 0.0
         #: log of scaler activations
         self.events: List[ScalingEvent] = []
         #: vertices reported as unresolvable bottlenecks (time, name)
         self.unresolvable_log: List[Tuple[float, str]] = []
         #: count of summaries skipped due to the inactivity phase
         self.skipped_inactive = 0
+        #: count of constraints skipped because their measurements were stale
+        self.skipped_stale = 0
+        #: count of scale-down targets suppressed by the recovery cooldown
+        self.suppressed_scale_downs = 0
 
     @property
     def inactive(self) -> bool:
         """Whether the scaler is inside a post-scale-up inactivity phase."""
         return self.sim.now < self._inactive_until
+
+    @property
+    def in_recovery_cooldown(self) -> bool:
+        """Whether scale-downs are currently suppressed after a fault."""
+        return self.sim.now < self._no_scale_down_until
+
+    def notify_fault_recovery(self) -> None:
+        """Start (or extend) the post-fault cooldown on scale-downs.
+
+        Called by the fault injector both when a fault strikes and when
+        it recovers: each notification restarts the cooldown window, so
+        scale-downs stay disabled until the system has run fault-free for
+        ``recovery_cooldown`` seconds. Scale-ups remain allowed — a crash
+        may exactly require extra capacity.
+        """
+        self._no_scale_down_until = self.sim.now + self.recovery_cooldown
 
     def on_global_summary(self, summary: GlobalSummary) -> Optional[ScalingDecision]:
         """React to a fresh global summary; returns the decision (or None)."""
@@ -78,6 +104,7 @@ class ElasticScaler:
             name: rv.target_parallelism for name, rv in self.runtime.vertices.items()
         }
         decision = self.policy.decide(summary, current)
+        self.skipped_stale += len(decision.stale_constraints)
         for name in decision.unresolvable:
             self.unresolvable_log.append((self.sim.now, name))
         if not decision.has_actions:
@@ -86,7 +113,11 @@ class ElasticScaler:
 
         applied: Dict[str, int] = {}
         scaled_up = False
+        cooldown = self.in_recovery_cooldown
         for vertex_name, target in sorted(decision.parallelism.items()):
+            if cooldown and target < current.get(vertex_name, target):
+                self.suppressed_scale_downs += 1
+                continue
             try:
                 delta = self.scheduler.set_parallelism(vertex_name, target)
             except InsufficientResourcesError:

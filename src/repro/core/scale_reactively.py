@@ -38,6 +38,9 @@ class ScalingDecision:
         self.unresolvable: List[str] = []
         #: constraints skipped for lack of measurements
         self.skipped_constraints: List[str] = []
+        #: subset of ``skipped_constraints`` skipped because their
+        #: measurements were stale (measurement dropout in progress)
+        self.stale_constraints: List[str] = []
 
     @property
     def has_actions(self) -> bool:
@@ -66,13 +69,24 @@ class ScaleReactivelyPolicy:
         w_fraction: float = 0.2,
         rho_max: float = 0.9,
         e_bounds: Tuple[float, float] = (0.05, 200.0),
+        staleness_threshold: Optional[float] = 10.0,
     ) -> None:
-        if not 0.0 < w_fraction <= 1.0:
-            raise ValueError(f"w_fraction must be in (0, 1] (got {w_fraction})")
+        if not isinstance(w_fraction, (int, float)) or not 0.0 < w_fraction <= 1.0:
+            raise ValueError(
+                f"w_fraction must be a number in (0, 1] — the queue-wait share of the "
+                f"constraint slack, paper default 0.2 (got {w_fraction!r})"
+            )
+        if staleness_threshold is not None and staleness_threshold <= 0:
+            raise ValueError(
+                f"staleness_threshold must be > 0 seconds or None (got {staleness_threshold})"
+            )
         self.constraints = list(constraints)
         self.w_fraction = w_fraction
         self.rho_max = rho_max
         self.e_bounds = e_bounds
+        #: refuse to act on measurements older than this many seconds
+        #: (None disables the gate)
+        self.staleness_threshold = staleness_threshold
 
     def decide(
         self,
@@ -88,6 +102,14 @@ class ScaleReactivelyPolicy:
         decision = ScalingDecision()
         for constraint in self.constraints:
             sequence = constraint.sequence
+            if self._is_stale(sequence, summary):
+                # Degradation path: during a measurement dropout the
+                # windows hold pre-outage data — rebalancing on it would
+                # chase a workload that may no longer exist. Skip the
+                # constraint until fresh measurements arrive.
+                decision.skipped_constraints.append(constraint.name)
+                decision.stale_constraints.append(constraint.name)
+                continue
             bottlenecks = find_bottlenecks(sequence, summary, self.rho_max)
             if bottlenecks:
                 targets, unresolvable = resolve_bottlenecks(
@@ -121,3 +143,13 @@ class ScaleReactivelyPolicy:
                 decision.infeasible_constraints.append(constraint.name)
             decision.merge_max(result.parallelism)
         return decision
+
+    def _is_stale(self, sequence, summary: GlobalSummary) -> bool:
+        """Whether any measured vertex of the sequence exceeds the threshold."""
+        if self.staleness_threshold is None:
+            return False
+        for name in sequence.vertex_names():
+            vs = summary.vertex(name)
+            if vs is not None and vs.staleness > self.staleness_threshold:
+                return True
+        return False

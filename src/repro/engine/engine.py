@@ -37,6 +37,7 @@ from repro.graphs.job_graph import JobGraph
 from repro.qos.manager import QoSManager
 from repro.qos.reporter import ChannelReporter, TaskReporter
 from repro.qos.summary import GlobalSummary, merge_partial_summaries
+from repro.simulation.faults import FaultInjector, FaultPlan
 from repro.simulation.kernel import Simulator
 from repro.simulation.randomness import RandomStreams
 
@@ -76,6 +77,10 @@ class EngineConfig:
     rho_max: float = 0.9
     #: adjustment intervals of post-scale-up inactivity (paper: 2)
     inactivity_intervals: int = 2
+    #: refuse scaling on measurements older than this (seconds; None = off)
+    staleness_threshold: Optional[float] = 10.0
+    #: post-fault cooldown on scale-downs (seconds; fault injection)
+    recovery_cooldown: float = 15.0
     #: task startup delay in seconds (paper: 1-2 s)
     startup_delay: float = 1.5
     #: clamp for the fitting coefficient e_jv
@@ -142,6 +147,7 @@ class DeployedJob:
         job_graph: JobGraph,
         constraints: Sequence[LatencyConstraint],
         vertex_probes: Dict[str, Callable[[float, object], None]],
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         DeployedJob._ids += 1
         self.job_id = DeployedJob._ids
@@ -194,6 +200,7 @@ class DeployedJob:
                 w_fraction=config.w_fraction,
                 rho_max=config.rho_max,
                 e_bounds=config.e_bounds,
+                staleness_threshold=config.staleness_threshold,
             )
             self.scaler = ElasticScaler(
                 engine.sim,
@@ -202,8 +209,13 @@ class DeployedJob:
                 policy,
                 adjustment_interval=config.adjustment_interval,
                 inactivity_intervals=config.inactivity_intervals,
+                recovery_cooldown=config.recovery_cooldown,
             )
         self.scheduler.deploy()
+        #: armed fault injector (None for fault-free runs)
+        self.fault_injector: Optional[FaultInjector] = None
+        if fault_plan is not None and fault_plan:
+            self.fault_injector = FaultInjector(fault_plan, self).arm()
         # Measurement ticks strictly precede the adjustment tick sharing
         # the same instant (epsilon offset keeps the ordering stable
         # across periodic re-scheduling).
@@ -378,14 +390,20 @@ class StreamProcessingEngine:
         self,
         job_graph: JobGraph,
         constraints: Sequence[LatencyConstraint] = (),
+        fault_plan: Optional[FaultPlan] = None,
     ) -> DeployedJob:
-        """Deploy ``job_graph`` and start its master control loop."""
+        """Deploy ``job_graph`` and start its master control loop.
+
+        ``fault_plan`` arms a deterministic chaos scenario against the
+        job (see :mod:`repro.simulation.faults`); the armed injector is
+        available as ``DeployedJob.fault_injector``.
+        """
         for job in self.jobs:
             if job.job_graph is job_graph:
                 raise RuntimeError("this job graph is already deployed")
         job_graph.validate()
         probes, self._pending_probes = self._pending_probes, {}
-        job = DeployedJob(self, job_graph, constraints, probes)
+        job = DeployedJob(self, job_graph, constraints, probes, fault_plan=fault_plan)
         self.jobs.append(job)
         return job
 
@@ -412,6 +430,11 @@ class StreamProcessingEngine:
     def scaler(self) -> Optional[ElasticScaler]:
         """Elastic scaler of the first job (None if unelastic)."""
         return self.jobs[0].scaler if self.jobs else None
+
+    @property
+    def fault_injector(self) -> Optional[FaultInjector]:
+        """Fault injector of the first job (None if fault-free)."""
+        return self.jobs[0].fault_injector if self.jobs else None
 
     @property
     def constraints(self) -> List[LatencyConstraint]:

@@ -120,6 +120,14 @@ class ResourceManager:
             task.speed_factor = worker.speed_factor
         return worker
 
+    def leased_worker_list(self) -> List[WorkerNode]:
+        """Snapshot of the currently leased workers (lease order)."""
+        return list(self._workers)
+
+    def worker_of(self, task: "RuntimeTask") -> Optional[WorkerNode]:
+        """The worker hosting ``task`` (``None`` if it holds no slot)."""
+        return self._task_worker.get(task.uid)
+
     def free_slots_available(self) -> int:
         """Total slots that could still be allocated without error."""
         free = sum(w.free_slots for w in self._workers)

@@ -24,6 +24,8 @@ class RuntimeVertex:
         self.tasks: List[RuntimeTask] = []
         #: scale-ups announced but not yet started (startup delay)
         self.pending_additions = 0
+        #: lifetime count of crashed (fault-injected) tasks
+        self.crashes = 0
         self._next_subtask_index = 0
 
     def next_subtask_index(self) -> int:

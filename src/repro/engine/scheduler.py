@@ -60,6 +60,8 @@ class Scheduler:
         self.on_channel_created = on_channel_created
         #: log of executed scaling actions: (time, vertex, old_p, new_p)
         self.scaling_log: List[tuple] = []
+        #: log of crashed tasks: (time, task_id)
+        self.failure_log: List[tuple] = []
 
     # ------------------------------------------------------------------
     # deployment
@@ -233,6 +235,50 @@ class Scheduler:
         for victim in victims:
             victim.begin_drain()
         self.scaling_log.append((self.sim.now, rv.name, old_p, rv.parallelism))
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+
+    def fail_task(self, task: RuntimeTask, restart_delay: Optional[float] = None) -> bool:
+        """Crash ``task`` abruptly; optionally restart a replacement.
+
+        The crashed task's queued work is lost (:meth:`RuntimeTask.fail`)
+        and its slot is reclaimed immediately. With ``restart_delay`` set,
+        a replacement task is announced at once (so the vertex's target
+        parallelism is unchanged and the scaler does not double-react) and
+        materializes after the delay — rewired into all live partitioners
+        with a fresh QoS reporter, exactly like an elastic scale-up.
+        Returns whether the task was actually live.
+        """
+        if task.state == "stopped":
+            return False
+        rv = self.runtime.vertex(task.vertex_name)
+        old_p = rv.parallelism
+        rv.crashes += 1
+        task.fail()
+        self.failure_log.append((self.sim.now, task.task_id))
+        self.scaling_log.append((self.sim.now, rv.name, old_p, rv.parallelism))
+        if restart_delay is not None:
+            if restart_delay < 0:
+                raise ValueError(f"restart_delay must be >= 0 (got {restart_delay})")
+            rv.pending_additions += 1
+            self.sim.schedule(restart_delay, self._materialize_scale_up, rv, 1)
+        return True
+
+    def fail_worker(
+        self, worker, restart_delay: Optional[float] = None
+    ) -> List[RuntimeTask]:
+        """Crash every task hosted on ``worker`` (worker-node loss).
+
+        Returns the tasks that were crashed. Replacement tasks (when
+        ``restart_delay`` is set) are placed by the resource manager and
+        may land on other workers.
+        """
+        victims = [t for t in worker.hosted_tasks() if t.state != "stopped"]
+        for task in victims:
+            self.fail_task(task, restart_delay)
+        return victims
 
     def _on_task_stopped(self, task: RuntimeTask) -> None:
         self.resources.release_slot(task)

@@ -139,6 +139,14 @@ class OutputGate:
         if self._buffer:
             self._flush()
 
+    def discard(self) -> None:
+        """Drop the buffered items without shipping (task crash)."""
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
+        self._buffer = []
+        self._buffered_bytes = 0
+
     def _on_flush_timer(self) -> None:
         self._flush_timer = None
         if self._buffer:
@@ -196,10 +204,15 @@ class RuntimeTask:
         self.start_time: Optional[float] = None
         self.stop_time: Optional[float] = None
         self.on_stopped: Optional[Callable[["RuntimeTask"], None]] = None
+        #: set by :meth:`fail` — distinguishes a crash from a graceful stop
+        self.failed = False
 
         #: CPU speed of the hosting worker (set at slot allocation);
         #: service times are divided by it
         self.speed_factor = 1.0
+        #: transient service-time multiplier (fault injection: hot-spot
+        #: spikes); applied to UDF service times while > 1
+        self.service_multiplier = 1.0
 
         # processing state
         self._busy = False
@@ -298,6 +311,42 @@ class RuntimeTask:
         if self.on_stopped is not None:
             self.on_stopped(self)
 
+    def fail(self) -> None:
+        """Crash the task abruptly (fault injection / worker loss).
+
+        Unlike :meth:`begin_drain`, nothing is preserved: queued input,
+        the emission backlog and buffered output batches are lost, as
+        they would be when a JVM process dies. Inbound channels close
+        (releasing blocked producers) and ``on_stopped`` fires so the
+        scheduler reclaims the slot; the caller decides whether and when
+        a replacement task is started.
+        """
+        if self.state == STOPPED:
+            return
+        self.failed = True
+        self.state = STOPPED
+        self.stop_time = self.sim.now
+        if self._window_process is not None:
+            self._window_process.stop()
+            self._window_process = None
+        if self._drain_probe is not None:
+            self._drain_probe.stop()
+            self._drain_probe = None
+        # In-memory work dies with the process.
+        self._busy = False
+        self._backlog = []
+        self._blocked_on = None
+        # Close inbound channels first so their parked batches are dropped
+        # rather than re-delivered when the queue drain frees space.
+        for channel in self.in_channels:
+            channel.close()
+        self.input_queue.drain()
+        for gate in self.out_gates:
+            gate.discard()
+        self.udf.close()
+        if self.on_stopped is not None:
+            self.on_stopped(self)
+
     # ------------------------------------------------------------------
     # consumer side
     # ------------------------------------------------------------------
@@ -326,7 +375,11 @@ class RuntimeTask:
             if item.sampled and item.emitted_at is not None:
                 channel.reporter.record_channel_latency(now - item.emitted_at)
         self._pop_time = now
-        udf_service = self.udf.service_time(item.payload, self.rng) / self.speed_factor
+        udf_service = (
+            self.udf.service_time(item.payload, self.rng)
+            * self.service_multiplier
+            / self.speed_factor
+        )
         # Overhead debt was already counted into busy_time by add_overhead;
         # here it only delays the completion.
         service = udf_service + self._overhead_debt
@@ -335,6 +388,8 @@ class RuntimeTask:
         self.sim.schedule(service, self._complete_service, item)
 
     def _complete_service(self, item: DataItem) -> None:
+        if self.state == STOPPED:
+            return  # crashed mid-service; the item is lost
         self.items_processed += 1
         udf = self.udf
         outputs = udf.process(item.payload)

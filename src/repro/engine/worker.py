@@ -49,6 +49,10 @@ class WorkerNode:
         """Whether no task is hosted (worker can be released)."""
         return not self._tasks
 
+    def hosted_tasks(self) -> list:
+        """The hosted tasks in slot order (fault injection, diagnostics)."""
+        return [self._tasks[slot] for slot in sorted(self._tasks)]
+
     def assign(self, task: "RuntimeTask") -> int:
         """Place ``task`` into the lowest free slot; returns the slot index."""
         if self.free_slots == 0:

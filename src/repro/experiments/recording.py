@@ -29,6 +29,7 @@ class SeriesRow:
         "task_seconds",
         "cpu_utilization",
         "constraint_latency",
+        "faults",
     )
 
     def __init__(self, time: float) -> None:
@@ -49,6 +50,9 @@ class SeriesRow:
         self.cpu_utilization = 0.0
         #: constraint name -> summary-measured sequence latency (or None)
         self.constraint_latency: Dict[str, Optional[float]] = {}
+        #: faults injected/recovered during the interval, as
+        #: (time, kind, target, detail) tuples
+        self.faults: List[Tuple[float, str, str, str]] = []
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SeriesRow(t={self.time:.0f}, p={self.parallelism})"
@@ -78,6 +82,7 @@ class SeriesRecorder:
         self._feeds: Dict[str, Callable[[], List[Tuple[float, float]]]] = {}
         self._last_busy: Dict[int, float] = {}
         self._last_emitted = 0
+        self._fault_cursor = 0
         engine.sim.every(interval, self._tick, start_delay=interval + 2e-6)
 
     # ------------------------------------------------------------------
@@ -145,6 +150,12 @@ class SeriesRecorder:
                 row.constraint_latency[constraint.name] = constraint.measured_latency(
                     engine.last_summary
                 )
+        # faults injected since the previous tick
+        injector = engine.fault_injector
+        if injector is not None:
+            fresh = injector.log[self._fault_cursor:]
+            self._fault_cursor += len(fresh)
+            row.faults = [record.as_tuple() for record in fresh]
         # resources and utilization
         row.task_seconds = engine.resources.task_seconds()
         utilizations = []
@@ -181,3 +192,7 @@ class SeriesRecorder:
     def parallelism_series(self, vertex: str) -> List[Tuple[float, int]]:
         """(time, parallelism) for one vertex."""
         return [(r.time, r.parallelism.get(vertex, 0)) for r in self.rows]
+
+    def fault_series(self) -> List[Tuple[float, str, str, str]]:
+        """All recorded fault events, flattened across rows."""
+        return [record for r in self.rows for record in r.faults]

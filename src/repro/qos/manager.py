@@ -46,6 +46,13 @@ class QoSManager:
         self.window = window
         self._tasks: Dict[int, Tuple["RuntimeTask", TaskReporter, _TaskWindows]] = {}
         self._channels: Dict[int, Tuple["RuntimeChannel", ChannelReporter, _ChannelWindows]] = {}
+        #: measurements are discarded while ``now < _suppressed_until``
+        #: (fault injection: reporter heartbeat loss)
+        self._suppressed_until = 0.0
+        #: time of the last collect that actually kept its samples
+        self._last_fresh: Optional[float] = None
+        #: lifetime count of collects whose samples were dropped
+        self.dropped_collects = 0
 
     # ------------------------------------------------------------------
     # registration
@@ -73,14 +80,47 @@ class QoSManager:
     # measurement interval
     # ------------------------------------------------------------------
 
+    def suppress_measurements(self, until: float) -> None:
+        """Discard all samples collected before virtual time ``until``.
+
+        Models a measurement dropout (lost reporter heartbeats): the
+        sliding windows keep their old content, so summaries built during
+        the outage are increasingly *stale* — tagged via
+        :attr:`~repro.qos.summary.VertexSummary.staleness` so the scaler
+        can refuse to act on them.
+        """
+        self._suppressed_until = max(self._suppressed_until, until)
+
+    @property
+    def suppressed_until(self) -> float:
+        """Virtual time until which measurement collection is suppressed."""
+        return self._suppressed_until
+
+    def staleness(self, now: float) -> float:
+        """Seconds since the last collect that kept its samples."""
+        if self._last_fresh is None:
+            return 0.0
+        return max(0.0, now - self._last_fresh)
+
     def collect(self, now: float) -> None:
-        """Drain all reporters into the sliding windows; evict dead entries."""
+        """Drain all reporters into the sliding windows; evict dead entries.
+
+        During a measurement dropout the reporters are still drained
+        (their interval accumulators reset) but the samples are dropped.
+        """
+        suppressed = now < self._suppressed_until
+        if suppressed:
+            self.dropped_collects += 1
+        else:
+            self._last_fresh = now
         dead_tasks = []
         for uid, (task, reporter, windows) in self._tasks.items():
             if task.state == "stopped":
                 dead_tasks.append(uid)
                 continue
             measurement = reporter.flush(now)
+            if suppressed:
+                continue
             windows.task_latency.push(measurement.task_latency)
             windows.service.push(measurement.service_time)
             windows.interarrival.push(measurement.interarrival)
@@ -92,6 +132,8 @@ class QoSManager:
                 dead_channels.append(cid)
                 continue
             measurement = reporter.flush(now)
+            if suppressed:
+                continue
             windows.latency.push(measurement.channel_latency)
             windows.obl.push(measurement.output_batch_latency)
         for cid in dead_channels:
@@ -104,6 +146,7 @@ class QoSManager:
     def partial_summary(self, now: float) -> PartialSummary:
         """Aggregate the sliding windows into a partial summary (Eq. 2)."""
         summary = PartialSummary(now)
+        staleness = self.staleness(now)
         per_vertex: Dict[str, List[_TaskWindows]] = {}
         for task, _reporter, windows in self._tasks.values():
             if task.state == "stopped":
@@ -124,6 +167,7 @@ class QoSManager:
                 interarrival_mean=_mean_of(w.interarrival.mean for w in with_arrivals),
                 interarrival_cv=_mean_of(w.interarrival.cv for w in with_arrivals),
                 n_tasks=n,
+                staleness=staleness,
             )
         per_edge: Dict[str, List[_ChannelWindows]] = {}
         for channel, _reporter, windows in self._channels.values():

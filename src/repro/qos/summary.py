@@ -17,7 +17,8 @@ class VertexSummary:
     """Summary tuple for one job vertex (paper Sec. IV-C1)."""
 
     __slots__ = ("vertex_name", "task_latency", "service_mean", "service_cv",
-                 "interarrival_mean", "interarrival_cv", "arrival_rate", "n_tasks")
+                 "interarrival_mean", "interarrival_cv", "arrival_rate", "n_tasks",
+                 "staleness")
 
     def __init__(
         self,
@@ -28,6 +29,7 @@ class VertexSummary:
         interarrival_mean: float,
         interarrival_cv: float,
         n_tasks: int,
+        staleness: float = 0.0,
     ) -> None:
         self.vertex_name = vertex_name
         #: mean task latency ``l_jv`` (seconds)
@@ -44,6 +46,10 @@ class VertexSummary:
         self.arrival_rate = 1.0 / interarrival_mean if interarrival_mean > 0 else 0.0
         #: number of tasks averaged into this summary (merge weight)
         self.n_tasks = n_tasks
+        #: seconds since the underlying windows last received fresh
+        #: samples (> 0 during measurement dropouts; the scaler skips
+        #: constraints whose vertices exceed its staleness threshold)
+        self.staleness = staleness
 
     @property
     def utilization(self) -> float:
@@ -152,6 +158,8 @@ def merge_partial_summaries(
                 (g.interarrival_cv, w) for g, w in zip(group, weights)
             ),
             n_tasks=sum(weights),
+            # Conservative merge: one stale partial makes the vertex stale.
+            staleness=max(g.staleness for g in group),
         )
     for name, group in edge_groups.items():
         weights = [g.n_channels for g in group]

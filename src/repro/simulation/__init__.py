@@ -8,6 +8,15 @@ stochastic model inputs.
 """
 
 from repro.simulation.events import Event
+from repro.simulation.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRecord,
+    MeasurementDropout,
+    ServiceSpike,
+    TaskCrash,
+    WorkerLoss,
+)
 from repro.simulation.kernel import Simulator
 from repro.simulation.randomness import (
     Distribution,
@@ -22,6 +31,13 @@ from repro.simulation.randomness import (
 __all__ = [
     "Event",
     "Simulator",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "MeasurementDropout",
+    "ServiceSpike",
+    "TaskCrash",
+    "WorkerLoss",
     "Distribution",
     "Deterministic",
     "Exponential",

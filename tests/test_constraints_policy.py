@@ -263,3 +263,25 @@ class TestScaleReactively:
     def test_invalid_w_fraction_rejected(self):
         with pytest.raises(ValueError):
             ScaleReactivelyPolicy([], w_fraction=0.0)
+
+    def test_w_fraction_boundaries(self):
+        # (0, 1] is the valid interval: 1.0 is in, 0.0 and >1 are out.
+        assert ScaleReactivelyPolicy([], w_fraction=1.0).w_fraction == 1.0
+        assert ScaleReactivelyPolicy([], w_fraction=1e-9).w_fraction == 1e-9
+        for bad in (-0.2, 0.0, 1.0000001, 2.0):
+            with pytest.raises(ValueError, match=r"w_fraction must be .* \(0, 1\]"):
+                ScaleReactivelyPolicy([], w_fraction=bad)
+
+    def test_non_numeric_w_fraction_rejected_with_clear_message(self):
+        with pytest.raises(ValueError, match="got '0.2'"):
+            ScaleReactivelyPolicy([], w_fraction="0.2")
+        with pytest.raises(ValueError, match="got None"):
+            ScaleReactivelyPolicy([], w_fraction=None)
+
+    def test_invalid_staleness_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ScaleReactivelyPolicy([], staleness_threshold=0.0)
+        with pytest.raises(ValueError):
+            ScaleReactivelyPolicy([], staleness_threshold=-5.0)
+        # None disables the gate entirely
+        assert ScaleReactivelyPolicy([], staleness_threshold=None).staleness_threshold is None

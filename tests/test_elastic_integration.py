@@ -107,3 +107,48 @@ class TestReactiveScaling:
         engine.run(60.0)
         assert engine.parallelism("Worker") == 8
         assert engine.scaler is None
+
+
+class TestDeterminism:
+    """Same seed, same config, same load => bit-identical scaling runs."""
+
+    def _run_fingerprint(self, seed=5, duration=70.0):
+        profile = PiecewiseRate([(0.0, 100.0), (25.0, 900.0), (50.0, 200.0)])
+        graph, js = elastic_job(profile, p_init=2)
+        engine = elastic_engine(graph, LatencyConstraint(js, 0.030), seed=seed)
+        decisions = []
+        scaler = engine.scaler
+        original = scaler.on_global_summary
+
+        def recording(summary):
+            decision = original(summary)
+            if decision is not None:
+                decisions.append(repr(decision))
+            return decision
+
+        scaler.on_global_summary = recording
+        engine.run(duration)
+        return {
+            "decisions": decisions,
+            "scaling_log": list(engine.scheduler.scaling_log),
+            "events": [repr(e) for e in scaler.events],
+            "parallelism": {
+                name: rv.parallelism
+                for name, rv in engine.runtime.vertices.items()
+            },
+        }
+
+    def test_same_seed_identical_decision_sequence(self):
+        first = self._run_fingerprint(seed=5)
+        second = self._run_fingerprint(seed=5)
+        assert first["decisions"] == second["decisions"]
+        assert first["scaling_log"] == second["scaling_log"]
+        assert first["events"] == second["events"]
+        assert first["parallelism"] == second["parallelism"]
+
+    def test_different_seed_may_diverge_but_stays_valid(self):
+        # Not asserting divergence (both seeds can legitimately agree) —
+        # only that another seed also yields a well-formed run.
+        other = self._run_fingerprint(seed=11)
+        assert other["parallelism"]["Worker"] >= 1
+        assert all(new_p >= 1 for _, _, _, new_p in other["scaling_log"])

@@ -150,6 +150,60 @@ class TestVertexModel:
             assert m.waiting_time(p_star - 1) > w or p_star == m.min_stable_parallelism()
 
 
+class TestLatencyModelProperties:
+    """Hypothesis properties the scaler's arithmetic relies on."""
+
+    @given(
+        lam=st.floats(min_value=0.1, max_value=1000.0),
+        s=st.floats(min_value=1e-5, max_value=0.1),
+        var=st.floats(min_value=0.0, max_value=5.0),
+        p=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_waiting_time_nonincreasing_in_parallelism(self, lam, s, var, p):
+        # More tasks never predict more queue wait: W(p*) is monotonically
+        # non-increasing in p*, which is what makes the policy's binary
+        # searches (p_for_wait, p_for_marginal) sound.
+        m = VertexModel("v", p_current=p, p_min=1, p_max=10_000,
+                        arrival_rate=lam, service_mean=s, variability=var)
+        waits = [m.waiting_time(q) for q in range(1, 65)]
+        assert all(a >= b for a, b in zip(waits, waits[1:]))
+
+    @given(
+        lam=st.floats(min_value=0.1, max_value=1000.0),
+        s=st.floats(min_value=1e-5, max_value=0.1),
+        var=st.floats(min_value=0.0, max_value=5.0),
+        p=st.integers(min_value=1, max_value=64),
+        q=st.integers(min_value=1, max_value=256),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_waiting_time_nonnegative_and_finite_when_stable(self, lam, s, var, p, q):
+        # Whenever the extrapolated utilization stays below 1 the
+        # predicted wait is a finite, non-negative number — the policy
+        # never sees NaN or a negative latency budget contribution.
+        m = VertexModel("v", p_current=p, p_min=1, p_max=10_000,
+                        arrival_rate=lam, service_mean=s, variability=var)
+        if m.utilization_at(q) < 1.0:
+            w = m.waiting_time(q)
+            assert 0.0 <= w < INFINITY
+            assert not math.isnan(w)
+
+    @given(
+        lam=st.floats(min_value=0.1, max_value=500.0),
+        s=st.floats(min_value=1e-5, max_value=0.05),
+        var=st.floats(min_value=0.0, max_value=3.0),
+        e=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_fitting_coefficient_preserves_monotonicity(self, lam, s, var, e):
+        # The measured-reality correction e_jv rescales but never
+        # reorders the predictions.
+        m = VertexModel("v", 4, 1, 10_000, lam, s, var, fitting_coefficient=e)
+        waits = [m.waiting_time(q) for q in range(1, 33)]
+        assert all(a >= b for a, b in zip(waits, waits[1:]))
+        assert all(w >= 0.0 for w in waits if w < INFINITY)
+
+
 class TestSequenceModel:
     def test_total_is_sum(self):
         m1 = make_model(lam=50.0)

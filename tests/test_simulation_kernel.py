@@ -203,3 +203,97 @@ class TestEventObject:
         sim.schedule(1.0, lambda: None)
         sim.schedule(2.0, lambda: None)
         assert sim.pending_events == 2
+
+
+class TestEdgeCases:
+    """Edge semantics the fault injector leans on."""
+
+    def test_schedule_at_exactly_now_is_allowed(self, sim):
+        fired = []
+        sim.schedule(3.0, lambda: sim.schedule_at(sim.now, fired.append, "x"))
+        sim.run()
+        assert fired == ["x"]
+        assert sim.now == 3.0
+
+    def test_schedule_at_in_past_raises(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="past"):
+            sim.schedule_at(4.999, lambda: None)
+
+    def test_same_instant_nested_scheduling_preserves_fifo(self, sim):
+        # Events scheduled *from a callback* for the current instant fire
+        # after already-pending same-instant events, in schedule order.
+        order = []
+        sim.schedule(1.0, lambda: (order.append("a"),
+                                   sim.schedule(0.0, order.append, "d")))
+        sim.schedule(1.0, order.append, "b")
+        sim.schedule(1.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_cancel_same_instant_sibling(self, sim):
+        # An event may cancel a sibling scheduled for the *same* instant
+        # before it fires (the crash handler cancels pending completions).
+        fired = []
+        victim = sim.schedule(2.0, fired.append, "victim")
+        sim.schedule(2.0, victim.cancel)
+        # seq order: victim first, cancel second -> victim still fires
+        sim.run()
+        assert fired == ["victim"]
+
+        killer_first = []
+        sim2 = type(sim)()
+        victim2 = [None]
+        sim2.schedule(2.0, lambda: victim2[0].cancel())
+        victim2[0] = sim2.schedule(2.0, killer_first.append, "victim")
+        sim2.run()
+        assert killer_first == []
+
+    def test_cancelled_event_never_fires_after_resume(self, sim):
+        fired = []
+        event = sim.schedule(10.0, fired.append, "late")
+        sim.run(until=5.0)
+        event.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.fired_events == 0
+
+    def test_cancel_after_firing_is_harmless(self, sim):
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        sim.run()
+        event.cancel()  # no error, no double bookkeeping
+        assert fired == ["x"]
+        assert sim.fired_events == 1
+
+    def test_run_until_boundary_event_fires_once(self, sim):
+        fired = []
+        sim.schedule(5.0, fired.append, "edge")
+        sim.run(until=5.0)
+        assert fired == ["edge"]
+        sim.run(until=10.0)
+        assert fired == ["edge"]
+        assert sim.now == 10.0
+
+    def test_periodic_stop_inside_last_firing_cancels_tail(self, sim):
+        ticks = []
+        proc = sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.schedule(3.5, proc.stop)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert sim.pending_events == 0
+
+    def test_deep_zero_delay_chain_stays_at_same_instant(self, sim):
+        # A long zero-delay cascade (restart -> rewire -> register ...)
+        # must not advance the clock.
+        depth = []
+
+        def chain(n):
+            depth.append(sim.now)
+            if n:
+                sim.schedule(0.0, chain, n - 1)
+
+        sim.schedule(2.0, chain, 50)
+        sim.run()
+        assert depth == [2.0] * 51
