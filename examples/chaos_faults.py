@@ -56,7 +56,7 @@ def main():
     engine = StreamProcessingEngine(EngineConfig(elastic=True, seed=7))
     recorder = SeriesRecorder(engine, interval=5.0, source_vertex="source",
                               source_profile=ConstantRate(400.0))
-    job = pipeline.submit_to(engine)
+    job = engine.submit(pipeline)
     engine.run(120.0)
 
     print("fault timeline:")

@@ -86,6 +86,13 @@ from repro.workloads.traces import (
     save_trace,
 )
 from repro.builder import BuiltPipeline, PipelineBuilder
+from repro.obs import (
+    DecisionTrace,
+    MetricsRegistry,
+    ObservabilityConfig,
+    RunManifest,
+    TraceRecord,
+)
 from repro.core.policies import CpuThresholdPolicy, RateBasedPolicy, StaticPolicy
 from repro.core.predictive import HoltForecaster, PredictiveScaleReactivelyPolicy
 from repro.analysis import (
@@ -171,6 +178,12 @@ __all__ = [
     # builder
     "PipelineBuilder",
     "BuiltPipeline",
+    # observability
+    "ObservabilityConfig",
+    "MetricsRegistry",
+    "DecisionTrace",
+    "TraceRecord",
+    "RunManifest",
     # traces
     "TraceRateProfile",
     "generate_diurnal_trace",

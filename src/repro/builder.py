@@ -30,6 +30,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.constraints import LatencyConstraint
 from repro.engine.udf import FilterUDF, FlatMapUDF, MapUDF, SinkUDF, SourceUDF, UDF
+from repro.obs.config import ObservabilityConfig
 from repro.graphs.job_graph import JobGraph, JobVertex
 from repro.graphs.sequences import JobSequence
 from repro.simulation.faults import FaultPlan, FaultSpec
@@ -48,18 +49,22 @@ class BuiltPipeline:
         graph: JobGraph,
         constraints: List[LatencyConstraint],
         fault_plan: Optional[FaultPlan] = None,
+        observability: Optional[ObservabilityConfig] = None,
     ) -> None:
         self.graph = graph
         self.constraints = constraints
         #: deterministic chaos scenario armed at submit (None = fault-free)
         self.fault_plan = fault_plan
+        #: observability settings adopted by the engine at submit
+        #: (None = leave the engine's own setting untouched)
+        self.observability = observability
 
     def submit_to(self, engine):
-        """Convenience: ``engine.submit(graph, constraints, fault_plan)``.
+        """Convenience delegate for ``engine.submit(self)``.
 
         Returns the :class:`~repro.engine.engine.DeployedJob` handle.
         """
-        return engine.submit(self.graph, self.constraints, fault_plan=self.fault_plan)
+        return engine.submit(self)
 
     def __repr__(self) -> str:
         faults = len(self.fault_plan.events) if self.fault_plan else 0
@@ -89,6 +94,7 @@ class PipelineBuilder:
         self._constraints: List[LatencyConstraint] = []
         self._fault_events: List[FaultSpec] = []
         self._fault_seed = 0
+        self._observability: Optional[ObservabilityConfig] = None
 
     # ------------------------------------------------------------------
     # stages
@@ -255,6 +261,27 @@ class PipelineBuilder:
             self._fault_seed = seed
         return self
 
+    def observe(
+        self,
+        metrics: bool = True,
+        trace: bool = True,
+        export_dir: Optional[str] = None,
+        sample_interval: float = 5.0,
+    ) -> "PipelineBuilder":
+        """Opt the pipeline into observability (metrics/traces/exports).
+
+        The resulting :class:`~repro.obs.config.ObservabilityConfig` is
+        carried on the built pipeline and adopted by the engine at submit
+        (unless the engine was constructed with its own config).
+        """
+        self._observability = ObservabilityConfig(
+            metrics=metrics,
+            trace=trace,
+            export_dir=export_dir,
+            sample_interval=sample_interval,
+        )
+        return self
+
     def build(self) -> BuiltPipeline:
         """Validate and return the built pipeline."""
         if self._source is None:
@@ -275,4 +302,9 @@ class PipelineBuilder:
             plan = FaultPlan(
                 tuple(self._fault_events), seed=self._fault_seed, name=self.graph.name
             )
-        return BuiltPipeline(self.graph, list(self._constraints), fault_plan=plan)
+        return BuiltPipeline(
+            self.graph,
+            list(self._constraints),
+            fault_plan=plan,
+            observability=self._observability,
+        )

@@ -5,6 +5,9 @@ Commands
 ``experiment {fig3,fig5,fig6,fig8,all}``
     Run a paper-reproduction experiment and print its report
     (``--quick`` for the reduced variant, ``--csv DIR`` to export series).
+``run``
+    Run a fault-free elastic pipeline with observability on and export
+    ``manifest.json`` / ``metrics.jsonl`` / ``trace.jsonl``.
 ``chaos``
     Run a deterministic fault-injection scenario against an elastic
     pipeline (task crash, worker loss, measurement dropout, service
@@ -12,6 +15,9 @@ Commands
 ``trace generate`` / ``trace info``
     Synthesize or inspect rate traces (the stand-in for the paper's
     two-week Twitter replay).
+``trace show`` / ``trace --check``
+    Inspect or schema-validate an exported observability directory
+    (scaler decision records and the run manifest).
 ``info``
     Show version and the experiment inventory.
 """
@@ -41,6 +47,14 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--quick", action="store_true", help="reduced-scale variant")
     exp.add_argument("--csv", metavar="DIR", help="export series CSVs into DIR")
 
+    run = sub.add_parser("run", help="fault-free elastic run with observability export")
+    run.add_argument("--duration", type=float, default=120.0, help="virtual seconds to run")
+    run.add_argument("--rate", type=float, default=400.0, help="source rate (items/s)")
+    run.add_argument("--bound", type=float, default=0.030, help="latency bound (s)")
+    run.add_argument("--seed", type=int, default=7, help="engine seed")
+    run.add_argument("--obs-dir", metavar="DIR", default="obs-run",
+                     help="export directory for manifest/metrics/trace")
+
     chaos = sub.add_parser("chaos", help="run a deterministic fault-injection scenario")
     chaos.add_argument("--duration", type=float, default=120.0, help="virtual seconds to run")
     chaos.add_argument("--rate", type=float, default=400.0, help="source rate (items/s)")
@@ -60,8 +74,14 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--spike-duration", type=float, default=10.0)
     chaos.add_argument("--worker-loss-at", type=float, default=-1.0,
                        help="lose one leased worker at this time (negative = off)")
+    chaos.add_argument("--obs-dir", metavar="DIR", default=None,
+                       help="export manifest/metrics/trace into DIR after the run")
 
-    trace = sub.add_parser("trace", help="rate-trace tooling")
+    trace = sub.add_parser("trace", help="rate traces and scaler decision traces")
+    trace.add_argument("--check", action="store_true",
+                       help="schema-validate trace.jsonl/manifest.json in --obs-dir")
+    trace.add_argument("--obs-dir", metavar="DIR", default=".",
+                       help="observability export directory for --check (default: .)")
     trace_sub = trace.add_subparsers(dest="trace_command")
     gen = trace_sub.add_parser("generate", help="synthesize a diurnal rate trace")
     gen.add_argument("--days", type=int, default=14)
@@ -71,6 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--out", required=True, metavar="PATH")
     info = trace_sub.add_parser("info", help="summarize a trace CSV")
     info.add_argument("path")
+    show = trace_sub.add_parser("show", help="summarize an exported decision trace")
+    show.add_argument("dir", nargs="?", default=".",
+                      help="observability export directory (default: .)")
+    show.add_argument("--last", type=int, default=10,
+                      help="number of most recent decision records to print")
 
     sub.add_parser("info", help="version and experiment inventory")
     return parser
@@ -107,6 +132,126 @@ def _run_experiment(name: str, quick: bool, csv_dir: Optional[str]) -> None:
     if csv_dir:
         path = result.series_csv(f"{csv_dir}/{name}_series.csv")
         print(f"series written to {path}")
+
+
+def _format_decision(record) -> str:
+    target = ""
+    if record.p_target is not None:
+        before = record.p_before if record.p_before is not None else "?"
+        target = f"  p {before}->{record.p_target}"
+        if record.p_applied:
+            target += f" (applied {record.p_applied:+d})"
+    waits = ""
+    if record.measured_wait is not None and record.predicted_wait is not None:
+        waits = (f"  wait {record.measured_wait * 1000:.2f}ms"
+                 f"->{record.predicted_wait * 1000:.2f}ms")
+    detail = f"  [{record.detail}]" if record.detail else ""
+    return (f"t={record.time:7.2f}  {record.branch:<19s} "
+            f"{record.constraint:<12s} {record.vertex or '*':<10s}"
+            f"{target}{waits}{detail}")
+
+
+def _print_last_decisions(trace, last: int) -> None:
+    print(f"last scaler decisions ({min(last, len(trace))} of {len(trace)} records):")
+    for record in trace.last(last):
+        print("  " + _format_decision(record))
+
+
+def _run_obs(args: argparse.Namespace) -> None:
+    from repro.builder import PipelineBuilder
+    from repro.engine.engine import EngineConfig, StreamProcessingEngine
+    from repro.simulation.randomness import Gamma
+    from repro.workloads.rates import ConstantRate
+
+    pipeline = (
+        PipelineBuilder("obs-run")
+        .source(lambda now, rng: rng.random(), rate=ConstantRate(args.rate))
+        .map("worker", lambda x: x, service=Gamma(0.004, 0.7), parallelism=(4, 1, 32))
+        .sink()
+        .constrain(bound=args.bound, name="e2e")
+        .observe(export_dir=args.obs_dir)
+        .build()
+    )
+    engine = StreamProcessingEngine(EngineConfig(elastic=True, seed=args.seed))
+    job = engine.submit(pipeline)
+    engine.run(args.duration)
+
+    print(f"run: {args.duration:.0f}s, rate={args.rate:.0f}/s, "
+          f"bound={args.bound * 1000:.0f}ms, seed={args.seed}")
+    print(f"final parallelism: "
+          f"{ {name: rv.parallelism for name, rv in job.runtime.vertices.items()} }")
+    scaler = job.scaler
+    if scaler is not None:
+        print(f"scaler: {scaler.rounds} rounds, {len(scaler.events)} activations")
+    if job.trace is not None and len(job.trace):
+        print()
+        _print_last_decisions(job.trace, 6)
+    paths = engine.export_run()
+    print()
+    print("exported:")
+    for kind, path in sorted(paths.items()):
+        print(f"  {kind:<9s} {path}")
+
+
+def _trace_check(obs_dir: str) -> int:
+    import os
+
+    from repro.obs.manifest import MANIFEST_FILE, RunManifest, TRACE_FILE
+    from repro.obs.trace import validate_trace_file
+
+    trace_path = os.path.join(obs_dir, TRACE_FILE)
+    manifest_path = os.path.join(obs_dir, MANIFEST_FILE)
+    errors = []
+    if os.path.exists(trace_path):
+        errors.extend(validate_trace_file(trace_path))
+    else:
+        errors.append(f"missing {trace_path}")
+    if os.path.exists(manifest_path):
+        try:
+            RunManifest.read(manifest_path)
+        except (ValueError, OSError) as exc:
+            errors.append(f"{manifest_path}: {exc}")
+    else:
+        errors.append(f"missing {manifest_path}")
+    if errors:
+        print(f"trace check FAILED ({len(errors)} errors):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"trace check OK: {trace_path} and {manifest_path} are schema-valid")
+    return 0
+
+
+def _trace_show(directory: str, last: int) -> int:
+    import os
+
+    from repro.obs.manifest import MANIFEST_FILE, RunManifest, TRACE_FILE
+    from repro.obs.trace import DecisionTrace
+
+    manifest_path = os.path.join(directory, MANIFEST_FILE)
+    if os.path.exists(manifest_path):
+        manifest = RunManifest.read(manifest_path)
+        scaling = manifest.get("scaling") or {}
+        print(f"job {manifest['job']!r}: seed={manifest['seed']}, "
+              f"graph={manifest['graph_hash']}, "
+              f"virtual={manifest['virtual_time_s']:.0f}s")
+        print(f"final parallelism: {manifest['final_parallelism']}")
+        if scaling:
+            print(f"scaling: {scaling.get('rounds', 0)} rounds, "
+                  f"{scaling.get('activations', 0)} activations, "
+                  f"{scaling.get('skipped_stale', 0)} stale skips, "
+                  f"{scaling.get('suppressed_scale_downs', 0)} cooldown suppressions")
+        print()
+    trace_path = os.path.join(directory, TRACE_FILE)
+    if not os.path.exists(trace_path):
+        print(f"no {trace_path}")
+        return 1
+    trace = DecisionTrace.read_jsonl(trace_path)
+    branches = ", ".join(f"{k}={v}" for k, v in sorted(trace.branches().items()))
+    print(f"{len(trace)} decision records over {trace.rounds} rounds ({branches})")
+    print()
+    _print_last_decisions(trace, last)
+    return 0
 
 
 def _run_chaos(args: argparse.Namespace) -> None:
@@ -149,12 +294,14 @@ def _run_chaos(args: argparse.Namespace) -> None:
     if args.worker_loss_at >= 0:
         builder.inject(WorkerLoss(at=args.worker_loss_at, restart_delay=args.restart_delay))
     builder.inject(seed=args.fault_seed)
+    if args.obs_dir is not None:
+        builder.observe(export_dir=args.obs_dir)
     pipeline = builder.build()
 
     engine = StreamProcessingEngine(EngineConfig(elastic=True, seed=args.seed))
     recorder = SeriesRecorder(engine, interval=5.0, source_vertex="source",
                               source_profile=ConstantRate(args.rate))
-    job = pipeline.submit_to(engine)
+    job = engine.submit(pipeline)
     engine.run(args.duration)
 
     print(f"chaos run: {args.duration:.0f}s, rate={args.rate:.0f}/s, "
@@ -189,6 +336,10 @@ def _run_chaos(args: argparse.Namespace) -> None:
     }
     if crashes:
         print(f"crashes by vertex: {crashes}")
+    if args.obs_dir is not None:
+        paths = engine.export_run()
+        print()
+        print("exported: " + ", ".join(sorted(paths.values())))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -210,10 +361,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in names:
             _run_experiment(name, args.quick, args.csv)
         return 0
+    if args.command == "run":
+        _run_obs(args)
+        return 0
     if args.command == "chaos":
         _run_chaos(args)
         return 0
     if args.command == "trace":
+        if args.check:
+            return _trace_check(args.obs_dir)
+        if args.trace_command == "show":
+            return _trace_show(args.dir, args.last)
         if args.trace_command == "generate":
             trace = generate_diurnal_trace(
                 days=args.days,

@@ -15,6 +15,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
 
 from repro.core.scale_reactively import ScaleReactivelyPolicy, ScalingDecision
+from repro.obs.trace import (
+    BRANCH_COOLDOWN,
+    BRANCH_INACTIVE,
+    BRANCH_UNRESOLVABLE,
+    TraceRecord,
+)
 from repro.qos.summary import GlobalSummary
 from repro.simulation.kernel import Simulator
 
@@ -73,6 +79,20 @@ class ElasticScaler:
         self.skipped_stale = 0
         #: count of scale-down targets suppressed by the recovery cooldown
         self.suppressed_scale_downs = 0
+        #: scaler rounds observed (every on_global_summary call)
+        self.rounds = 0
+        #: optional :class:`~repro.obs.trace.DecisionTrace` receiving the
+        #: per-round decision records (None = tracing off)
+        self.trace_sink = None
+
+    def _emit(self, records) -> None:
+        if self.trace_sink is not None:
+            self.trace_sink.extend(records)
+            self.trace_sink.rounds = self.rounds
+
+    def _job_name(self) -> str:
+        graph = getattr(self.runtime, "job_graph", None)
+        return getattr(graph, "name", "") if graph is not None else ""
 
     @property
     def inactive(self) -> bool:
@@ -97,36 +117,74 @@ class ElasticScaler:
 
     def on_global_summary(self, summary: GlobalSummary) -> Optional[ScalingDecision]:
         """React to a fresh global summary; returns the decision (or None)."""
+        self.rounds += 1
         if self.inactive:
             self.skipped_inactive += 1
+            if self.trace_sink is not None:
+                self._emit([
+                    TraceRecord(
+                        self.sim.now, "*", BRANCH_INACTIVE,
+                        job=self._job_name(), round=self.rounds,
+                        detail="post-scale-up inactivity phase",
+                    )
+                ])
             return None
         current = {
             name: rv.target_parallelism for name, rv in self.runtime.vertices.items()
         }
         decision = self.policy.decide(summary, current)
+        for record in decision.trace:
+            record.job = self._job_name()
+            record.round = self.rounds
         self.skipped_stale += len(decision.stale_constraints)
         for name in decision.unresolvable:
             self.unresolvable_log.append((self.sim.now, name))
         if not decision.has_actions:
+            self._emit(decision.trace)
             return decision
         from repro.engine.resources import InsufficientResourcesError
 
+        extra_records = []
         applied: Dict[str, int] = {}
         scaled_up = False
         cooldown = self.in_recovery_cooldown
         for vertex_name, target in sorted(decision.parallelism.items()):
             if cooldown and target < current.get(vertex_name, target):
                 self.suppressed_scale_downs += 1
+                extra_records.append(
+                    TraceRecord(
+                        self.sim.now, "*", BRANCH_COOLDOWN,
+                        vertex=vertex_name,
+                        job=self._job_name(), round=self.rounds,
+                        p_before=current.get(vertex_name),
+                        p_target=target,
+                        detail="scale-down suppressed by recovery cooldown",
+                    )
+                )
                 continue
             try:
                 delta = self.scheduler.set_parallelism(vertex_name, target)
             except InsufficientResourcesError:
                 self.unresolvable_log.append((self.sim.now, vertex_name))
+                extra_records.append(
+                    TraceRecord(
+                        self.sim.now, "*", BRANCH_UNRESOLVABLE,
+                        vertex=vertex_name,
+                        job=self._job_name(), round=self.rounds,
+                        p_before=current.get(vertex_name),
+                        p_target=target,
+                        detail="insufficient cluster resources",
+                    )
+                )
                 continue
             if delta != 0:
                 applied[vertex_name] = delta
             if delta > 0:
                 scaled_up = True
+        for record in decision.trace:
+            if record.vertex in applied:
+                record.p_applied = applied[record.vertex]
+        self._emit(decision.trace + extra_records)
         reason = "bottleneck" if decision.bottleneck_constraints else "rebalance"
         self.events.append(ScalingEvent(self.sim.now, dict(decision.parallelism), applied, reason))
         if scaled_up:

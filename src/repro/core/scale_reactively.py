@@ -21,6 +21,15 @@ from repro.core.bottlenecks import find_bottlenecks, resolve_bottlenecks
 from repro.core.constraints import LatencyConstraint
 from repro.core.latency_model import build_sequence_model
 from repro.core.rebalance import rebalance
+from repro.obs.trace import (
+    BRANCH_BOTTLENECK,
+    BRANCH_INFEASIBLE,
+    BRANCH_NO_MODEL_SKIP,
+    BRANCH_REBALANCE,
+    BRANCH_STALE_SKIP,
+    BRANCH_UNRESOLVABLE,
+    TraceRecord,
+)
 from repro.qos.summary import GlobalSummary
 
 
@@ -41,6 +50,10 @@ class ScalingDecision:
         #: subset of ``skipped_constraints`` skipped because their
         #: measurements were stale (measurement dropout in progress)
         self.stale_constraints: List[str] = []
+        #: structured per-constraint/per-vertex decision records
+        #: (:class:`~repro.obs.trace.TraceRecord`); always populated — the
+        #: scaler only *stores* them when a trace sink is attached
+        self.trace: List[TraceRecord] = []
 
     @property
     def has_actions(self) -> bool:
@@ -100,6 +113,7 @@ class ScaleReactivelyPolicy:
         pending scale-ups are not re-issued).
         """
         decision = ScalingDecision()
+        time = summary.timestamp
         for constraint in self.constraints:
             sequence = constraint.sequence
             if self._is_stale(sequence, summary):
@@ -109,6 +123,12 @@ class ScaleReactivelyPolicy:
                 # constraint until fresh measurements arrive.
                 decision.skipped_constraints.append(constraint.name)
                 decision.stale_constraints.append(constraint.name)
+                decision.trace.append(
+                    TraceRecord(
+                        time, constraint.name, BRANCH_STALE_SKIP,
+                        detail="measurements exceed staleness threshold",
+                    )
+                )
                 continue
             bottlenecks = find_bottlenecks(sequence, summary, self.rho_max)
             if bottlenecks:
@@ -118,12 +138,41 @@ class ScaleReactivelyPolicy:
                 decision.bottleneck_constraints.append(constraint.name)
                 decision.unresolvable.extend(unresolvable)
                 decision.merge_max(targets)
+                for name, target in targets.items():
+                    vs = summary.vertex(name)
+                    decision.trace.append(
+                        TraceRecord(
+                            time, constraint.name, BRANCH_BOTTLENECK,
+                            vertex=name,
+                            utilization=vs.utilization if vs is not None else None,
+                            p_before=current_parallelism.get(name),
+                            p_target=target,
+                            detail="Eq. 10 doubling",
+                        )
+                    )
+                for name in unresolvable:
+                    vs = summary.vertex(name)
+                    decision.trace.append(
+                        TraceRecord(
+                            time, constraint.name, BRANCH_UNRESOLVABLE,
+                            vertex=name,
+                            utilization=vs.utilization if vs is not None else None,
+                            p_before=current_parallelism.get(name),
+                            detail="bottleneck cannot scale out further",
+                        )
+                    )
                 continue
             model = build_sequence_model(
                 sequence, summary, current_parallelism, self.e_bounds
             )
             if model is None:
                 decision.skipped_constraints.append(constraint.name)
+                decision.trace.append(
+                    TraceRecord(
+                        time, constraint.name, BRANCH_NO_MODEL_SKIP,
+                        detail="missing measurements for latency model",
+                    )
+                )
                 continue
             budget = self.w_fraction * (constraint.bound - constraint.task_latency_sum(summary))
             if budget <= 0:
@@ -132,6 +181,20 @@ class ScaleReactivelyPolicy:
                 # maximum scale-out on its scalable vertices.
                 decision.infeasible_constraints.append(constraint.name)
                 decision.merge_max({m.name: m.p_max for m in model.scalable_models()})
+                for m in model.scalable_models():
+                    decision.trace.append(
+                        TraceRecord(
+                            time, constraint.name, BRANCH_INFEASIBLE,
+                            vertex=m.name,
+                            budget=budget,
+                            measured_wait=m.waiting_time(m.p_current),
+                            e=m.e,
+                            utilization=m.utilization_at(m.p_current),
+                            p_before=m.p_current,
+                            p_target=m.p_max,
+                            detail="task latencies alone exceed the bound",
+                        )
+                    )
                 continue
             p_min = {
                 name: p
@@ -142,6 +205,24 @@ class ScaleReactivelyPolicy:
             if not result.feasible:
                 decision.infeasible_constraints.append(constraint.name)
             decision.merge_max(result.parallelism)
+            branch = BRANCH_REBALANCE if result.feasible else BRANCH_INFEASIBLE
+            for m in model.models:
+                p_target = result.parallelism.get(m.name, m.p_current)
+                decision.trace.append(
+                    TraceRecord(
+                        time, constraint.name, branch,
+                        vertex=m.name,
+                        budget=budget,
+                        measured_wait=m.waiting_time(m.p_current),
+                        predicted_wait=m.waiting_time(p_target),
+                        e=m.e,
+                        utilization=m.utilization_at(m.p_current),
+                        utilization_at_target=m.utilization_at(p_target),
+                        p_before=m.p_current,
+                        p_target=p_target,
+                        detail="" if m.scalable else "fixed",
+                    )
+                )
         return decision
 
     def _is_stale(self, sequence, summary: GlobalSummary) -> bool:

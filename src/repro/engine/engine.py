@@ -15,6 +15,7 @@ elastic scaler).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -34,6 +35,10 @@ from repro.engine.runtime import RuntimeGraph
 from repro.engine.scheduler import Scheduler
 from repro.engine.task import RuntimeTask
 from repro.graphs.job_graph import JobGraph
+from repro.obs.config import ObservabilityConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampling import MetricsSampler, SamplingClock
+from repro.obs.trace import DecisionTrace
 from repro.qos.manager import QoSManager
 from repro.qos.reporter import ChannelReporter, TaskReporter
 from repro.qos.summary import GlobalSummary, merge_partial_summaries
@@ -158,7 +163,8 @@ class DeployedJob:
         self.trackers: List[ConstraintTracker] = [ConstraintTracker(c) for c in self.constraints]
         self.runtime = RuntimeGraph(job_graph)
         self._managers: List[QoSManager] = [
-            QoSManager(i, config.summary_window) for i in range(config.qos_managers)
+            QoSManager(i, config.summary_window, metrics=engine.metrics)
+            for i in range(config.qos_managers)
         ]
         self._next_manager = 0
         self._vertex_probes = dict(vertex_probes)
@@ -192,7 +198,13 @@ class DeployedJob:
             startup_delay=config.startup_delay,
             on_task_created=self._on_task_created,
             on_channel_created=self._on_channel_created,
+            metrics=engine.metrics,
         )
+        obs = engine.observability
+        #: structured scaler decision log (None when tracing is off)
+        self.trace: Optional[DecisionTrace] = None
+        if obs is not None and obs.trace:
+            self.trace = DecisionTrace()
         self.scaler: Optional[ElasticScaler] = None
         if config.elastic and self.constraints:
             policy = ScaleReactivelyPolicy(
@@ -211,6 +223,7 @@ class DeployedJob:
                 inactivity_intervals=config.inactivity_intervals,
                 recovery_cooldown=config.recovery_cooldown,
             )
+            self.scaler.trace_sink = self.trace
         self.scheduler.deploy()
         #: armed fault injector (None for fault-free runs)
         self.fault_injector: Optional[FaultInjector] = None
@@ -237,6 +250,10 @@ class DeployedJob:
         reporter = TaskReporter(task.vertex_name, task.task_id)
         task.reporter = reporter
         self._pick_manager().attach_task(task, reporter)
+        if self.engine.metrics is not None:
+            task.service_histogram = self.engine.metrics.histogram(
+                f"service_time.{task.vertex_name}"
+            )
         job_vertex = self.job_graph.vertices[task.vertex_name]
         if not job_vertex.outputs:
             samples = self._sink_samples.setdefault(task.vertex_name, [])
@@ -347,8 +364,20 @@ class StreamProcessingEngine:
     returned by :meth:`submit` to address later jobs explicitly.
     """
 
-    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        observability: Optional[ObservabilityConfig] = None,
+    ) -> None:
         self.config = config or EngineConfig()
+        #: observability opt-in (None = fully off; may also be adopted
+        #: from a submitted BuiltPipeline's ``observe(...)`` setting)
+        self.observability = observability
+        #: metrics registry (None while metrics collection is off)
+        self.metrics: Optional[MetricsRegistry] = None
+        self._metrics_sampler: Optional[MetricsSampler] = None
+        self._sampling_clocks: Dict[float, SamplingClock] = {}
+        self._wall_start = time.monotonic()
         self.sim = Simulator()
         self.streams = RandomStreams(self.config.seed)
         self.network = NetworkModel(
@@ -373,6 +402,63 @@ class StreamProcessingEngine:
         self.jobs: List[DeployedJob] = []
         #: probes to install on the next submitted job's vertices
         self._pending_probes: Dict[str, Callable[[float, object], None]] = {}
+        if self.observability is not None and self.observability.metrics:
+            self._enable_metrics()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def sampling_clock(self, interval: float) -> SamplingClock:
+        """The shared per-interval sampling clock (created on first use).
+
+        All periodic observers (metrics sampler, series recorders) using
+        the same interval share one clock, so they sample the same
+        instants and the event heap carries one timer per interval.
+        """
+        clock = self._sampling_clocks.get(interval)
+        if clock is None:
+            clock = SamplingClock(self.sim, interval)
+            self._sampling_clocks[interval] = clock
+        return clock
+
+    def _enable_metrics(self) -> None:
+        if self.metrics is not None:
+            return
+        self.metrics = MetricsRegistry()
+        interval = (
+            self.observability.sample_interval
+            if self.observability is not None
+            else 5.0
+        )
+        self._metrics_sampler = MetricsSampler(
+            self, self.metrics, self.sampling_clock(interval)
+        )
+
+    @property
+    def wall_time_s(self) -> float:
+        """Wall-clock seconds since this engine was constructed."""
+        return time.monotonic() - self._wall_start
+
+    def export_run(self, directory: Optional[str] = None, job: Optional[DeployedJob] = None) -> Dict[str, str]:
+        """Write manifest.json (+ metrics/trace JSONL) for a job's run.
+
+        ``directory`` defaults to the observability config's export dir;
+        ``job`` defaults to the first submitted job. Returns the written
+        paths keyed by kind.
+        """
+        from repro.obs.manifest import export_run as _export_run
+
+        if directory is None:
+            directory = (
+                self.observability.export_dir if self.observability is not None else None
+            )
+        if directory is None:
+            raise ValueError(
+                "no export directory: pass directory= or set "
+                "ObservabilityConfig.export_dir"
+            )
+        return _export_run(job if job is not None else self._primary(), directory)
 
     # ------------------------------------------------------------------
     # deployment
@@ -388,16 +474,38 @@ class StreamProcessingEngine:
 
     def submit(
         self,
-        job_graph: JobGraph,
+        job_graph,
         constraints: Sequence[LatencyConstraint] = (),
         fault_plan: Optional[FaultPlan] = None,
     ) -> DeployedJob:
-        """Deploy ``job_graph`` and start its master control loop.
+        """Deploy a job and start its master control loop.
+
+        Accepts either a bare :class:`~repro.graphs.job_graph.JobGraph`
+        (with explicit ``constraints``/``fault_plan``) or a
+        :class:`~repro.builder.BuiltPipeline`, which carries its own
+        constraints, fault plan and observability settings — the builder
+        path; ``BuiltPipeline.submit_to(engine)`` delegates here.
 
         ``fault_plan`` arms a deterministic chaos scenario against the
         job (see :mod:`repro.simulation.faults`); the armed injector is
         available as ``DeployedJob.fault_injector``.
         """
+        from repro.builder import BuiltPipeline
+
+        if isinstance(job_graph, BuiltPipeline):
+            pipeline = job_graph
+            if constraints or fault_plan is not None:
+                raise TypeError(
+                    "submit(pipeline) takes no separate constraints/fault_plan — "
+                    "they are part of the BuiltPipeline"
+                )
+            if self.observability is None and pipeline.observability is not None:
+                self.observability = pipeline.observability
+                if self.observability.metrics:
+                    self._enable_metrics()
+            job_graph = pipeline.graph
+            constraints = pipeline.constraints
+            fault_plan = pipeline.fault_plan
         for job in self.jobs:
             if job.job_graph is job_graph:
                 raise RuntimeError("this job graph is already deployed")

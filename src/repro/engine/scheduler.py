@@ -45,6 +45,7 @@ class Scheduler:
         startup_delay: float = 1.5,
         on_task_created: Optional[Callable[[RuntimeTask], None]] = None,
         on_channel_created: Optional[Callable[[RuntimeChannel], None]] = None,
+        metrics=None,
     ) -> None:
         self.sim = sim
         self.runtime = runtime
@@ -58,10 +59,17 @@ class Scheduler:
         self.startup_delay = startup_delay
         self.on_task_created = on_task_created
         self.on_channel_created = on_channel_created
+        #: optional MetricsRegistry; scaling/failure actions are counted
+        #: under ``scheduler.*`` when set
+        self.metrics = metrics
         #: log of executed scaling actions: (time, vertex, old_p, new_p)
         self.scaling_log: List[tuple] = []
         #: log of crashed tasks: (time, task_id)
         self.failure_log: List[tuple] = []
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
 
     # ------------------------------------------------------------------
     # deployment
@@ -79,6 +87,7 @@ class Scheduler:
         for job_vertex in graph.topological_order():
             for task in self.runtime.vertex(job_vertex.name).tasks:
                 task.start()
+        self._count("scheduler.deploys")
 
     def _create_task(self, rv: RuntimeVertex) -> RuntimeTask:
         job_vertex = rv.job_vertex
@@ -115,6 +124,7 @@ class Scheduler:
             )
         if self.on_task_created is not None:
             self.on_task_created(task)
+        self._count("scheduler.tasks_started")
         return task
 
     def _wire_edge_full_mesh(self, edge: JobEdge) -> None:
@@ -206,6 +216,7 @@ class Scheduler:
         for task in new_tasks:
             task.start()
         self.scaling_log.append((self.sim.now, rv.name, old_p, rv.parallelism))
+        self._count("scheduler.scale_ups")
 
     def scale_down(self, vertex_name: str, count: int) -> None:
         """Gracefully remove ``count`` tasks (youngest first)."""
@@ -235,6 +246,7 @@ class Scheduler:
         for victim in victims:
             victim.begin_drain()
         self.scaling_log.append((self.sim.now, rv.name, old_p, rv.parallelism))
+        self._count("scheduler.scale_downs")
 
     # ------------------------------------------------------------------
     # failure handling
@@ -259,11 +271,13 @@ class Scheduler:
         task.fail()
         self.failure_log.append((self.sim.now, task.task_id))
         self.scaling_log.append((self.sim.now, rv.name, old_p, rv.parallelism))
+        self._count("scheduler.task_failures")
         if restart_delay is not None:
             if restart_delay < 0:
                 raise ValueError(f"restart_delay must be >= 0 (got {restart_delay})")
             rv.pending_additions += 1
             self.sim.schedule(restart_delay, self._materialize_scale_up, rv, 1)
+            self._count("scheduler.task_restarts")
         return True
 
     def fail_worker(

@@ -234,6 +234,10 @@ class RuntimeTask:
         #: tasks for end-to-end ground truth, experiments may add others
         self.process_probe: Optional[Callable[[float, object], None]] = None
 
+        #: optional obs histogram receiving every service time (set by the
+        #: engine when metrics collection is on)
+        self.service_histogram = None
+
         # accounting (ground truth for recorders)
         self.items_processed = 0
         self.items_emitted = 0
@@ -413,6 +417,8 @@ class RuntimeTask:
                 self.reporter.record_service_time(elapsed)
                 if self.udf.latency_mode == "RR":
                     self.reporter.record_task_latency(elapsed)
+            if self.service_histogram is not None:
+                self.service_histogram.observe(elapsed)
         if self.state in (RUNNING, DRAINING):
             self._start_next()
 

@@ -130,6 +130,28 @@ class Dashboard:
             lines.append(f"  t={event.time:7.1f}s  [{event.reason}]  {changes}")
         return "\n".join(lines)
 
+    def decisions_section(self, last: int = 6) -> str:
+        """The most recent structured scaler decisions (trace records)."""
+        job = self._job()
+        trace = getattr(job, "trace", None) if job is not None else None
+        if trace is None:
+            return "(decision tracing off)"
+        if not len(trace):
+            return "(no scaler decisions yet)"
+        lines = [f"last scaler decisions ({min(last, len(trace))} of {len(trace)}):"]
+        for record in trace.last(last):
+            target = ""
+            if record.p_target is not None:
+                before = record.p_before if record.p_before is not None else "?"
+                target = f"  p {before}->{record.p_target}"
+                if record.p_applied:
+                    target += f" ({record.p_applied:+d})"
+            lines.append(
+                f"  t={record.time:7.1f}s  [{record.branch}]  "
+                f"{record.constraint}/{record.vertex or '*'}{target}"
+            )
+        return "\n".join(lines)
+
     def diagnostics_section(self) -> str:
         """Assumption findings (hot spots / load skew), if any."""
         job = self._job()
@@ -157,6 +179,8 @@ class Dashboard:
             self.series_section(),
             "",
             self.events_section(),
+            "",
+            self.decisions_section(),
             "",
             self.diagnostics_section(),
         ]

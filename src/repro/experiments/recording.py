@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.engine.engine import StreamProcessingEngine
+from repro.obs.sampling import SamplingClock, utilization_samples
 from repro.qos.stats import percentile
 from repro.workloads.rates import RateProfile
 
@@ -83,7 +84,15 @@ class SeriesRecorder:
         self._last_busy: Dict[int, float] = {}
         self._last_emitted = 0
         self._fault_cursor = 0
-        engine.sim.every(interval, self._tick, start_delay=interval + 2e-6)
+        # Share the engine's per-interval sampling clock (one timer per
+        # interval, same sampling instants as the metrics layer). The
+        # clock's default first tick equals the old standalone schedule
+        # (interval + epsilon), so recordings are unchanged.
+        if hasattr(engine, "sampling_clock"):
+            self._clock = engine.sampling_clock(interval)
+        else:  # bare simulator hosts (tests)
+            self._clock = SamplingClock(engine.sim, interval)
+        self._clock.subscribe(self._tick)
 
     # ------------------------------------------------------------------
     # feeds
@@ -117,7 +126,7 @@ class SeriesRecorder:
     # sampling
     # ------------------------------------------------------------------
 
-    def _tick(self) -> None:
+    def _tick(self, now: Optional[float] = None) -> None:
         engine = self.engine
         runtime = engine.runtime
         if runtime is None:
@@ -158,16 +167,9 @@ class SeriesRecorder:
             row.faults = [record.as_tuple() for record in fresh]
         # resources and utilization
         row.task_seconds = engine.resources.task_seconds()
-        utilizations = []
-        seen = set()
-        for task in runtime.all_tasks():
-            seen.add(task.uid)
-            last = self._last_busy.get(task.uid, task.busy_time)
-            delta = task.busy_time - last
-            self._last_busy[task.uid] = task.busy_time
-            utilizations.append(min(1.0, max(0.0, delta / self.interval)))
-        for uid in [uid for uid in self._last_busy if uid not in seen]:
-            del self._last_busy[uid]
+        utilizations = utilization_samples(
+            runtime.all_tasks(), self._last_busy, self.interval
+        )
         row.cpu_utilization = sum(utilizations) / len(utilizations) if utilizations else 0.0
         self.rows.append(row)
 

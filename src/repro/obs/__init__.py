@@ -1,0 +1,88 @@
+"""Structured observability: metrics, scaler decision traces, manifests.
+
+The package is deliberately dependency-free with respect to the engine —
+it only ever receives engine/job objects duck-typed, so instrumented
+code can import ``repro.obs`` without cycles and observability stays a
+strict add-on: disabling it leaves runs byte-identical.
+"""
+
+from repro.obs.config import ObservabilityConfig
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+from repro.obs.sampling import (
+    SAMPLE_EPSILON,
+    MetricsSampler,
+    SamplingClock,
+    utilization_samples,
+)
+from repro.obs.trace import (
+    BRANCH_BOTTLENECK,
+    BRANCH_COOLDOWN,
+    BRANCH_INACTIVE,
+    BRANCH_INFEASIBLE,
+    BRANCH_NO_MODEL_SKIP,
+    BRANCH_REBALANCE,
+    BRANCH_STALE_SKIP,
+    BRANCH_UNRESOLVABLE,
+    BRANCHES,
+    TRACE_FIELDS,
+    TRACE_SCHEMA_VERSION,
+    DecisionTrace,
+    TraceRecord,
+    finite_or_none,
+    validate_record_dict,
+    validate_trace_file,
+)
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    build_manifest,
+    export_run,
+    graph_hash,
+)
+
+__all__ = [
+    # config
+    "ObservabilityConfig",
+    # metrics
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    # sampling
+    "SAMPLE_EPSILON",
+    "MetricsSampler",
+    "SamplingClock",
+    "utilization_samples",
+    # trace
+    "BRANCH_BOTTLENECK",
+    "BRANCH_COOLDOWN",
+    "BRANCH_INACTIVE",
+    "BRANCH_INFEASIBLE",
+    "BRANCH_NO_MODEL_SKIP",
+    "BRANCH_REBALANCE",
+    "BRANCH_STALE_SKIP",
+    "BRANCH_UNRESOLVABLE",
+    "BRANCHES",
+    "TRACE_FIELDS",
+    "TRACE_SCHEMA_VERSION",
+    "DecisionTrace",
+    "TraceRecord",
+    "finite_or_none",
+    "validate_record_dict",
+    "validate_trace_file",
+    # manifest
+    "MANIFEST_SCHEMA_VERSION",
+    "RunManifest",
+    "build_manifest",
+    "export_run",
+    "graph_hash",
+]

@@ -1,0 +1,183 @@
+"""Run manifests: one ``manifest.json`` per engine run.
+
+The manifest pins everything needed to reproduce and audit a run — the
+seed, a stable hash of the job graph, the constraint set, the fault
+plan, virtual/wall duration, the final parallelism and the scaler's
+activity counters — and names the sibling ``metrics.jsonl`` /
+``trace.jsonl`` exports. It is the artifact future perf PRs diff against
+to prove a speedup changed nothing behavioral.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional
+
+#: bump when the manifest layout changes incompatibly
+MANIFEST_SCHEMA_VERSION = 1
+
+#: canonical export file names
+MANIFEST_FILE = "manifest.json"
+METRICS_FILE = "metrics.jsonl"
+TRACE_FILE = "trace.jsonl"
+
+
+def graph_hash(graph) -> str:
+    """Stable short hash of a job graph's structure.
+
+    Covers vertex names, parallelism bounds and elasticity plus edge
+    wiring patterns — everything the scaler's behavior depends on. UDF
+    code is deliberately excluded (callables have no stable identity),
+    so the hash identifies the *shape* of the job, not its payload.
+    """
+    structure = {
+        "name": graph.name,
+        "vertices": sorted(
+            (
+                v.name,
+                v.parallelism,
+                v.min_parallelism,
+                v.max_parallelism,
+                bool(v.elastic),
+            )
+            for v in graph.vertices.values()
+        ),
+        "edges": sorted(
+            (e.source.name, e.target.name, e.pattern) for e in graph.edges
+        ),
+    }
+    digest = hashlib.sha256(
+        json.dumps(structure, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return digest[:16]
+
+
+def _fault_plan_dict(plan) -> Optional[Dict[str, object]]:
+    if plan is None or not plan:
+        return None
+    events: List[Dict[str, object]] = []
+    for spec in plan.events:
+        event: Dict[str, object] = {"kind": type(spec).__name__, "at": spec.at}
+        vertex = getattr(spec, "vertex", None)
+        if vertex is not None:
+            event["vertex"] = vertex
+        events.append(event)
+    return {"name": plan.name, "seed": plan.seed, "events": events}
+
+
+class RunManifest:
+    """The manifest of one engine run (JSON-dict backed)."""
+
+    def __init__(self, data: Dict[str, object]) -> None:
+        self.data = data
+
+    def __getitem__(self, key: str) -> object:
+        return self.data[key]
+
+    def get(self, key: str, default=None):
+        """Dict-style access with default."""
+        return self.data.get(key, default)
+
+    def to_json(self) -> str:
+        """Pretty-printed strict JSON."""
+        return json.dumps(self.data, indent=2, sort_keys=False, allow_nan=False)
+
+    def write(self, path: str) -> str:
+        """Write the manifest; returns the path."""
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.to_json() + "\n")
+        return path
+
+    @staticmethod
+    def read(path: str) -> "RunManifest":
+        """Load a manifest written by :meth:`write`."""
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+        if data.get("schema") != MANIFEST_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported manifest schema {data.get('schema')!r} "
+                f"(expected {MANIFEST_SCHEMA_VERSION})"
+            )
+        return RunManifest(data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RunManifest(job={self.data.get('job')!r}, seed={self.data.get('seed')})"
+
+
+def build_manifest(job, wall_time_s: Optional[float] = None) -> RunManifest:
+    """Assemble the manifest of a deployed job's run so far."""
+    engine = job.engine
+    config = engine.config
+    constraints = [
+        {
+            "name": c.name,
+            "bound": c.bound,
+            "window": c.window,
+            "sequence": list(c.sequence.vertex_names()),
+        }
+        for c in job.constraints
+    ]
+    final_parallelism = {
+        name: rv.parallelism for name, rv in job.runtime.vertices.items()
+    }
+    scaler = job.scaler
+    scaling: Optional[Dict[str, object]] = None
+    if scaler is not None:
+        scaling = {
+            "rounds": scaler.rounds,
+            "activations": len(scaler.events),
+            "skipped_inactive": scaler.skipped_inactive,
+            "skipped_stale": scaler.skipped_stale,
+            "suppressed_scale_downs": scaler.suppressed_scale_downs,
+            "unresolvable": len(scaler.unresolvable_log),
+        }
+    obs = engine.observability
+    trace = getattr(job, "trace", None)
+    fault_plan = job.fault_injector.plan if job.fault_injector is not None else None
+    data: Dict[str, object] = {
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "job": job.job_graph.name,
+        "seed": config.seed,
+        "graph_hash": graph_hash(job.job_graph),
+        "elastic": config.elastic,
+        "constraints": constraints,
+        "fault_plan": _fault_plan_dict(fault_plan),
+        "virtual_time_s": engine.now,
+        "wall_time_s": wall_time_s if wall_time_s is not None else engine.wall_time_s,
+        "final_parallelism": final_parallelism,
+        "scaling": scaling,
+        "observability": {
+            "metrics": bool(obs is not None and obs.metrics),
+            "trace": bool(obs is not None and obs.trace),
+            "trace_records": len(trace) if trace is not None else 0,
+        },
+        "files": {},
+    }
+    return RunManifest(data)
+
+
+def export_run(job, directory: str) -> Dict[str, str]:
+    """Write ``manifest.json`` (+ ``metrics.jsonl`` / ``trace.jsonl``).
+
+    Only the files whose observability feature is enabled are written;
+    the manifest's ``files`` section names what exists. Returns
+    ``{kind: path}`` for everything written.
+    """
+    os.makedirs(directory, exist_ok=True)
+    engine = job.engine
+    manifest = build_manifest(job)
+    paths: Dict[str, str] = {}
+    sampler = getattr(engine, "_metrics_sampler", None)
+    if sampler is not None:
+        paths["metrics"] = sampler.write_jsonl(os.path.join(directory, METRICS_FILE))
+        manifest.data["files"]["metrics"] = METRICS_FILE
+    trace = getattr(job, "trace", None)
+    if trace is not None:
+        paths["trace"] = trace.write_jsonl(os.path.join(directory, TRACE_FILE))
+        manifest.data["files"]["trace"] = TRACE_FILE
+    manifest.data["files"]["manifest"] = MANIFEST_FILE
+    paths["manifest"] = manifest.write(os.path.join(directory, MANIFEST_FILE))
+    return paths

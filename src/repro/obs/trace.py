@@ -1,0 +1,294 @@
+"""Scaler decision traces: why ScaleReactively chose a parallelism.
+
+Every adjustment interval the scaler evaluates each constraint and
+either Rebalances, resolves a bottleneck, or skips (stale measurements,
+missing model, inactivity phase). All the intermediate quantities — the
+measured queue wait, the predicted wait at the chosen ``p*``, the
+fitting coefficient ``e_jv``, utilization extrapolations and the Ŵ
+budget split — are captured as :class:`TraceRecord` rows so an operator
+can audit *why* a scaling action happened instead of reverse-engineering
+it from the parallelism series.
+
+Records use a versioned, flat JSON schema (``trace.jsonl``, one record
+per line) consumed by ``python -m repro trace show`` / ``--check`` and
+the :class:`~repro.experiments.dashboard.Dashboard` decisions panel.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Dict, Iterable, Iterator, List, Optional
+
+#: bump when the record schema changes incompatibly
+TRACE_SCHEMA_VERSION = 1
+
+# --- branch names (which part of Algorithm 2 produced the record) -------
+BRANCH_REBALANCE = "rebalance"
+BRANCH_BOTTLENECK = "bottleneck"
+BRANCH_STALE_SKIP = "stale-skip"
+BRANCH_NO_MODEL_SKIP = "no-model-skip"
+BRANCH_INFEASIBLE = "infeasible"
+BRANCH_INACTIVE = "inactive"
+BRANCH_COOLDOWN = "cooldown-suppressed"
+BRANCH_UNRESOLVABLE = "unresolvable"
+
+BRANCHES = frozenset({
+    BRANCH_REBALANCE,
+    BRANCH_BOTTLENECK,
+    BRANCH_STALE_SKIP,
+    BRANCH_NO_MODEL_SKIP,
+    BRANCH_INFEASIBLE,
+    BRANCH_INACTIVE,
+    BRANCH_COOLDOWN,
+    BRANCH_UNRESOLVABLE,
+})
+
+#: the frozen field order of the JSONL schema (append-only by policy)
+TRACE_FIELDS = (
+    "schema",
+    "time",
+    "job",
+    "round",
+    "constraint",
+    "vertex",
+    "branch",
+    "budget",
+    "measured_wait",
+    "predicted_wait",
+    "e",
+    "utilization",
+    "utilization_at_target",
+    "p_before",
+    "p_target",
+    "p_applied",
+    "detail",
+)
+
+
+def finite_or_none(value: Optional[float]) -> Optional[float]:
+    """Map inf/nan to None so records stay strict-JSON serializable."""
+    if value is None:
+        return None
+    if math.isinf(value) or math.isnan(value):
+        return None
+    return float(value)
+
+
+class TraceRecord:
+    """One structured scaler-decision row (one constraint x one vertex).
+
+    Skip branches that apply to a whole constraint (or a whole round, for
+    the inactivity phase) carry ``vertex=None``; action branches carry
+    the per-vertex model terms.
+    """
+
+    __slots__ = (
+        "time", "job", "round", "constraint", "vertex", "branch", "budget",
+        "measured_wait", "predicted_wait", "e", "utilization",
+        "utilization_at_target", "p_before", "p_target", "p_applied", "detail",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        constraint: str,
+        branch: str,
+        vertex: Optional[str] = None,
+        job: str = "",
+        round: int = 0,
+        budget: Optional[float] = None,
+        measured_wait: Optional[float] = None,
+        predicted_wait: Optional[float] = None,
+        e: Optional[float] = None,
+        utilization: Optional[float] = None,
+        utilization_at_target: Optional[float] = None,
+        p_before: Optional[int] = None,
+        p_target: Optional[int] = None,
+        p_applied: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        if branch not in BRANCHES:
+            raise ValueError(f"unknown trace branch {branch!r} (have: {sorted(BRANCHES)})")
+        self.time = float(time)
+        self.job = job
+        self.round = round
+        self.constraint = constraint
+        self.vertex = vertex
+        self.branch = branch
+        self.budget = finite_or_none(budget)
+        self.measured_wait = finite_or_none(measured_wait)
+        self.predicted_wait = finite_or_none(predicted_wait)
+        self.e = finite_or_none(e)
+        self.utilization = finite_or_none(utilization)
+        self.utilization_at_target = finite_or_none(utilization_at_target)
+        self.p_before = p_before
+        self.p_target = p_target
+        self.p_applied = p_applied
+        self.detail = detail
+
+    def to_dict(self) -> Dict[str, object]:
+        """The record as a dict in the frozen schema field order."""
+        out: Dict[str, object] = {"schema": TRACE_SCHEMA_VERSION}
+        for field in TRACE_FIELDS[1:]:
+            out[field] = getattr(self, field)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TraceRecord":
+        """Parse a dict produced by :meth:`to_dict` (schema-checked)."""
+        schema = data.get("schema")
+        if schema != TRACE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported trace schema {schema!r} (expected {TRACE_SCHEMA_VERSION})"
+            )
+        kwargs = {field: data[field] for field in TRACE_FIELDS[1:] if field in data}
+        missing = [f for f in ("time", "constraint", "branch") if f not in kwargs]
+        if missing:
+            raise ValueError(f"trace record missing required fields: {missing}")
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        """One strict-JSON line (``allow_nan=False`` guards the schema)."""
+        return json.dumps(self.to_dict(), allow_nan=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        target = f" p{self.p_before}->{self.p_target}" if self.p_target is not None else ""
+        return (
+            f"TraceRecord(t={self.time:.1f}, {self.constraint}/"
+            f"{self.vertex or '*'}, {self.branch}{target})"
+        )
+
+
+class DecisionTrace:
+    """An append-only log of :class:`TraceRecord` rows for one job."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+        #: scaler rounds observed (including inactive ones)
+        self.rounds = 0
+
+    def append(self, record: TraceRecord) -> None:
+        """Add one record."""
+        self.records.append(record)
+
+    def extend(self, records: Iterable[TraceRecord]) -> None:
+        """Add several records."""
+        self.records.extend(records)
+
+    def last(self, n: int) -> List[TraceRecord]:
+        """The most recent ``n`` records."""
+        return self.records[-n:]
+
+    def for_vertex(self, vertex: str) -> List[TraceRecord]:
+        """All records about one vertex."""
+        return [r for r in self.records if r.vertex == vertex]
+
+    def for_constraint(self, constraint: str) -> List[TraceRecord]:
+        """All records about one constraint."""
+        return [r for r in self.records if r.constraint == constraint]
+
+    def branches(self) -> Dict[str, int]:
+        """Record count per branch."""
+        out: Dict[str, int] = {}
+        for record in self.records:
+            out[record.branch] = out.get(record.branch, 0) + 1
+        return out
+
+    def write_jsonl(self, path: str) -> str:
+        """Write all records as JSONL; returns the path."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            for record in self.records:
+                f.write(record.to_json() + "\n")
+        return path
+
+    @staticmethod
+    def read_jsonl(path: str) -> "DecisionTrace":
+        """Load a trace written by :meth:`write_jsonl`."""
+        trace = DecisionTrace()
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    trace.append(TraceRecord.from_dict(json.loads(line)))
+        if trace.records:
+            trace.rounds = max(r.round for r in trace.records)
+        return trace
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DecisionTrace({len(self.records)} records, {self.rounds} rounds)"
+
+
+# ----------------------------------------------------------------------
+# schema validation (``python -m repro trace --check`` and CI)
+# ----------------------------------------------------------------------
+
+_NUMERIC_OPTIONAL = (
+    "budget", "measured_wait", "predicted_wait", "e",
+    "utilization", "utilization_at_target",
+)
+_INT_OPTIONAL = ("p_before", "p_target", "p_applied")
+
+
+def validate_record_dict(data: Dict[str, object], line: int = 0) -> List[str]:
+    """Schema errors of one parsed record dict (empty list = valid)."""
+    where = f"line {line}: " if line else ""
+    errors: List[str] = []
+    if data.get("schema") != TRACE_SCHEMA_VERSION:
+        errors.append(f"{where}schema must be {TRACE_SCHEMA_VERSION} (got {data.get('schema')!r})")
+    unknown = [k for k in data if k not in TRACE_FIELDS]
+    if unknown:
+        errors.append(f"{where}unknown fields {unknown}")
+    if not isinstance(data.get("time"), (int, float)):
+        errors.append(f"{where}time must be a number")
+    if not isinstance(data.get("constraint"), str) or not data.get("constraint"):
+        errors.append(f"{where}constraint must be a non-empty string")
+    branch = data.get("branch")
+    if branch not in BRANCHES:
+        errors.append(f"{where}branch {branch!r} not in {sorted(BRANCHES)}")
+    vertex = data.get("vertex")
+    if vertex is not None and not isinstance(vertex, str):
+        errors.append(f"{where}vertex must be a string or null")
+    for field in _NUMERIC_OPTIONAL:
+        value = data.get(field)
+        if value is not None and not isinstance(value, (int, float)):
+            errors.append(f"{where}{field} must be a number or null")
+    for field in _INT_OPTIONAL:
+        value = data.get(field)
+        if value is not None and not isinstance(value, int):
+            errors.append(f"{where}{field} must be an integer or null")
+    if branch in (BRANCH_REBALANCE, BRANCH_BOTTLENECK) and vertex is None:
+        errors.append(f"{where}{branch} records must name a vertex")
+    return errors
+
+
+def validate_trace_file(path: str) -> List[str]:
+    """Schema errors of a ``trace.jsonl`` file (empty list = valid)."""
+    errors: List[str] = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for number, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    errors.append(f"line {number}: not valid JSON ({exc})")
+                    continue
+                if not isinstance(data, dict):
+                    errors.append(f"line {number}: record must be a JSON object")
+                    continue
+                errors.extend(validate_record_dict(data, line=number))
+    except OSError as exc:
+        errors.append(f"cannot read {path}: {exc}")
+    return errors

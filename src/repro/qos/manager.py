@@ -41,9 +41,11 @@ class _ChannelWindows:
 class QoSManager:
     """Collects measurements for a subset of tasks/channels."""
 
-    def __init__(self, manager_id: int, window: int = 5) -> None:
+    def __init__(self, manager_id: int, window: int = 5, metrics=None) -> None:
         self.manager_id = manager_id
         self.window = window
+        #: optional MetricsRegistry; collects/summaries counted under ``qos.*``
+        self.metrics = metrics
         self._tasks: Dict[int, Tuple["RuntimeTask", TaskReporter, _TaskWindows]] = {}
         self._channels: Dict[int, Tuple["RuntimeChannel", ChannelReporter, _ChannelWindows]] = {}
         #: measurements are discarded while ``now < _suppressed_until``
@@ -113,6 +115,10 @@ class QoSManager:
             self.dropped_collects += 1
         else:
             self._last_fresh = now
+        if self.metrics is not None:
+            self.metrics.counter("qos.collects").inc()
+            if suppressed:
+                self.metrics.counter("qos.suppressed_collects").inc()
         dead_tasks = []
         for uid, (task, reporter, windows) in self._tasks.items():
             if task.state == "stopped":
@@ -147,6 +153,8 @@ class QoSManager:
         """Aggregate the sliding windows into a partial summary (Eq. 2)."""
         summary = PartialSummary(now)
         staleness = self.staleness(now)
+        if self.metrics is not None:
+            self.metrics.counter("qos.partial_summaries").inc()
         per_vertex: Dict[str, List[_TaskWindows]] = {}
         for task, _reporter, windows in self._tasks.values():
             if task.state == "stopped":

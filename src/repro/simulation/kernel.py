@@ -44,6 +44,7 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self._fired_events = 0
+        self._max_heap = 0
 
     @property
     def now(self) -> float:
@@ -59,6 +60,11 @@ class Simulator:
     def fired_events(self) -> int:
         """Total number of events fired so far (excludes cancelled)."""
         return self._fired_events
+
+    @property
+    def max_heap_size(self) -> int:
+        """High-water mark of the event heap over the run so far."""
+        return self._max_heap
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now.
@@ -79,6 +85,8 @@ class Simulator:
         event = Event(time, self._seq, callback, args)
         self._seq += 1
         heapq.heappush(self._heap, event)
+        if len(self._heap) > self._max_heap:
+            self._max_heap = len(self._heap)
         return event
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:

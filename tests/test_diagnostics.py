@@ -1,0 +1,137 @@
+"""Tests for collect_per_task_measurements (qos/diagnostics.py).
+
+The AssumptionChecker itself is covered in test_diagnostics_ascii.py;
+here we test the extraction step that turns QoS-manager sliding windows
+into the ``{vertex: {task_id: value}}`` maps the checker consumes.
+"""
+
+from repro.qos.diagnostics import (
+    HOT_SPOT,
+    LOAD_SKEW,
+    AssumptionChecker,
+    collect_per_task_measurements,
+)
+from repro.qos.manager import QoSManager, _TaskWindows
+from repro.qos.stats import StatsSnapshot
+
+
+def snap(value):
+    """One-sample interval snapshot holding ``value``."""
+    return StatsSnapshot(1, value, 0.0)
+
+
+class FakeTask:
+    def __init__(self, uid, vertex_name, task_id, state="running"):
+        self.uid = uid
+        self.vertex_name = vertex_name
+        self.task_id = task_id
+        self.state = state
+
+
+class FakeManager:
+    """Duck-types the one attribute the collector reads."""
+
+    def __init__(self):
+        self._tasks = {}
+
+    def add(self, task, service=(), interarrival=(), window=5):
+        windows = _TaskWindows(window)
+        for value in service:
+            windows.service.push(snap(value))
+        for value in interarrival:
+            windows.interarrival.push(snap(value))
+        self._tasks[task.uid] = (task, None, windows)
+        return windows
+
+
+def test_collects_service_and_arrival_maps():
+    manager = FakeManager()
+    manager.add(FakeTask(1, "worker", "worker/0"), service=[0.010, 0.012], interarrival=[0.005])
+    manager.add(FakeTask(2, "worker", "worker/1"), service=[0.011], interarrival=[0.010])
+    service, arrivals = collect_per_task_measurements([manager])
+    assert service == {"worker": {"worker/0": 0.011, "worker/1": 0.011}}
+    assert arrivals["worker"]["worker/0"] == 200.0  # 1 / 0.005s
+    assert arrivals["worker"]["worker/1"] == 100.0
+
+
+def test_stopped_tasks_are_skipped():
+    manager = FakeManager()
+    manager.add(FakeTask(1, "worker", "worker/0", state="stopped"), service=[0.010])
+    manager.add(FakeTask(2, "worker", "worker/1"), service=[0.020])
+    service, arrivals = collect_per_task_measurements([manager])
+    assert service == {"worker": {"worker/1": 0.020}}
+    assert arrivals == {}
+
+
+def test_empty_windows_contribute_nothing():
+    manager = FakeManager()
+    manager.add(FakeTask(1, "worker", "worker/0"))  # no measurements yet
+    service, arrivals = collect_per_task_measurements([manager])
+    assert service == {} and arrivals == {}
+
+
+def test_zero_interarrival_mean_is_not_inverted():
+    manager = FakeManager()
+    windows = manager.add(FakeTask(1, "worker", "worker/0"), service=[0.010])
+    windows.interarrival.push(snap(0.0))
+    service, arrivals = collect_per_task_measurements([manager])
+    assert "worker" in service
+    assert arrivals == {}  # no division by zero, entry simply absent
+
+
+def test_merges_across_managers_and_vertices():
+    m1, m2 = FakeManager(), FakeManager()
+    m1.add(FakeTask(1, "map", "map/0"), service=[0.010])
+    m2.add(FakeTask(2, "map", "map/1"), service=[0.030])
+    m2.add(FakeTask(3, "filter", "filter/0"), service=[0.002])
+    service, _ = collect_per_task_measurements([m1, m2])
+    assert service == {
+        "map": {"map/0": 0.010, "map/1": 0.030},
+        "filter": {"filter/0": 0.002},
+    }
+
+
+def test_real_manager_shape_round_trips():
+    """The collector works against an actual QoSManager's _tasks dict."""
+    from repro.qos.reporter import TaskReporter
+
+    manager = QoSManager(0, window=5)
+
+    class RT(FakeTask):
+        pass
+
+    task = RT(7, "worker", "worker/0")
+    manager.attach_task(task, TaskReporter("worker", "worker/0"))
+    _, _, windows = manager._tasks[7]
+    for value in (0.004, 0.006):
+        windows.service.push(snap(value))
+    service, _ = collect_per_task_measurements([manager])
+    assert service == {"worker": {"worker/0": 0.005}}
+
+
+def test_feeds_checker_end_to_end():
+    """Collected maps plug straight into AssumptionChecker."""
+    manager = FakeManager()
+    for i, svc in enumerate([0.010, 0.010, 0.010, 0.050]):
+        manager.add(FakeTask(i, "worker", f"worker/{i}"), service=[svc])
+    service, arrivals = collect_per_task_measurements([manager])
+    findings = AssumptionChecker().check(service, arrivals)
+    assert [f.kind for f in findings] == [HOT_SPOT]
+    assert findings[0].task_id == "worker/3"
+    assert findings[0].ratio == 5.0
+
+
+def test_load_skew_from_collected_arrivals():
+    manager = FakeManager()
+    # three tasks at ~100/s, one starved at 10/s
+    rates = [0.010, 0.010, 0.010, 0.100]
+    for i, gap in enumerate(rates):
+        manager.add(
+            FakeTask(i, "worker", f"worker/{i}"),
+            service=[0.001],
+            interarrival=[gap],
+        )
+    service, arrivals = collect_per_task_measurements([manager])
+    findings = AssumptionChecker().check(service, arrivals)
+    skews = [f for f in findings if f.kind == LOAD_SKEW]
+    assert [f.task_id for f in skews] == ["worker/3"]

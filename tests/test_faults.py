@@ -53,7 +53,7 @@ def run_chaos(duration: float = 80.0, engine_seed: int = 7, fault_seed: int = 0)
     """Run the acceptance scenario; returns (engine, job)."""
     pipeline = build_chaos_pipeline(fault_seed=fault_seed)
     engine = StreamProcessingEngine(EngineConfig(elastic=True, seed=engine_seed))
-    job = pipeline.submit_to(engine)
+    job = engine.submit(pipeline)
     engine.run(duration)
     return engine, job
 
@@ -382,7 +382,7 @@ class TestRecorderIntegration:
         pipeline = build_chaos_pipeline()
         engine = StreamProcessingEngine(EngineConfig(elastic=True, seed=7))
         recorder = SeriesRecorder(engine, interval=5.0)
-        pipeline.submit_to(engine)
+        engine.submit(pipeline)
         engine.run(60.0)
         series = recorder.fault_series()
         kinds = [kind for _, kind, _, _ in series]
