@@ -19,6 +19,11 @@ PrimeTester and TwitterSentiment evaluations) and ``DESIGN.md`` for the
 architecture and the paper-to-module map.
 """
 
+from repro.actuation import (
+    ActuationConfig,
+    ActuationRequest,
+    ReconciliationController,
+)
 from repro.core.constraints import ConstraintTracker, LatencyConstraint
 from repro.core.latency_model import (
     SequenceLatencyModel,
@@ -51,6 +56,8 @@ from repro.engine.udf import (
 from repro.graphs.job_graph import JobEdge, JobGraph, JobVertex
 from repro.graphs.sequences import JobSequence
 from repro.simulation.faults import (
+    ActuationDelay,
+    ActuationFailure,
     FaultInjector,
     FaultPlan,
     FaultRecord,
@@ -158,6 +165,12 @@ __all__ = [
     "WorkerLoss",
     "MeasurementDropout",
     "ServiceSpike",
+    "ActuationFailure",
+    "ActuationDelay",
+    # actuation supervision
+    "ActuationConfig",
+    "ActuationRequest",
+    "ReconciliationController",
     "RandomStreams",
     "Distribution",
     "Deterministic",

@@ -1,0 +1,23 @@
+"""Actuation supervision: asynchronous, failure-prone, retried rescaling.
+
+The paper assumes rescaling is instantaneous and infallible; this
+subpackage models it as what it really is — an asynchronous runtime
+operation with provisioning delay that can fail, time out, and need
+retries. :class:`ActuationConfig` holds the knobs (delay distribution,
+failure model, exponential backoff, guardrails);
+:class:`ReconciliationController` converges actual parallelism to the
+scaler's desired parallelism and escalates through a constraint-violation
+watchdog when reconciliation lags. Attach a config with
+``PipelineBuilder.actuate(...)`` or ``EngineConfig(actuation=...)``;
+without one (the default), rescaling stays synchronous and byte-identical
+to unsupervised behavior.
+"""
+
+from repro.actuation.config import ActuationConfig
+from repro.actuation.reconciler import ActuationRequest, ReconciliationController
+
+__all__ = [
+    "ActuationConfig",
+    "ActuationRequest",
+    "ReconciliationController",
+]

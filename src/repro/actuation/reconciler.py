@@ -1,0 +1,438 @@
+"""Supervised actuation: asynchronous, failure-prone rescaling.
+
+The scheduler's ``set_parallelism`` is synchronous and infallible; real
+actuation is neither. When a job carries an
+:class:`~repro.actuation.config.ActuationConfig`, the elastic scaler no
+longer applies its decisions directly — it hands each one to the
+:class:`ReconciliationController`, which:
+
+* turns it into an :class:`ActuationRequest` whose provisioning delay is
+  sampled (deterministically, from the job's ``actuation`` random
+  stream) on the simulator heap;
+* lets the request fail (sampled ``failure_rate``, an active
+  ``ActuationFailure`` fault window, a provisioning sample above
+  ``timeout``, or insufficient cluster resources) and retries with
+  exponential backoff + jitter until ``max_retries`` is exhausted;
+* applies the guardrails: per-request ``max_step`` clamping, a
+  ``hysteresis`` dead-band around the current target, and a
+  constraint-violation watchdog that escalates to bottleneck-style
+  doubling when reconciliation has lagged a violated constraint for
+  ``watchdog_intervals`` consecutive adjustment intervals;
+* tracks desired / applied / in-flight state per vertex so the scaler
+  can suppress re-deciding vertices whose actuation is still pending,
+  and exposes the convergence lag (total desired-minus-actual
+  parallelism distance) as a gauge.
+
+Every lifecycle step is appended to :attr:`ReconciliationController.log`
+(plain tuples, byte-comparable across same-seed runs) and, when tracing
+is on, emitted as schema-v2 :class:`~repro.obs.trace.TraceRecord` rows
+(``actuation-pending`` / ``actuation-failed`` / ``retry-backoff`` /
+``watchdog-escalation``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
+
+from repro.actuation.config import ActuationConfig
+from repro.obs.trace import (
+    BRANCH_ACTUATION_FAILED,
+    BRANCH_ACTUATION_PENDING,
+    BRANCH_RETRY_BACKOFF,
+    BRANCH_WATCHDOG_ESCALATION,
+    TraceRecord,
+)
+from repro.simulation.kernel import Simulator
+from repro.simulation.randomness import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a package import cycle
+    from repro.engine.runtime import RuntimeGraph
+    from repro.engine.scheduler import Scheduler
+
+
+class ActuationRequest:
+    """One in-flight rescaling order (vertex → target parallelism)."""
+
+    __slots__ = (
+        "vertex", "target", "p_before", "attempt", "issued_at",
+        "round", "superseded", "escalated",
+    )
+
+    def __init__(
+        self,
+        vertex: str,
+        target: int,
+        p_before: int,
+        issued_at: float,
+        round: int = 0,
+        escalated: bool = False,
+    ) -> None:
+        self.vertex = vertex
+        self.target = target
+        self.p_before = p_before
+        #: 1-based attempt counter (bumped on every retry)
+        self.attempt = 1
+        self.issued_at = issued_at
+        self.round = round
+        #: set when the watchdog replaced this request — completion no-ops
+        self.superseded = False
+        self.escalated = escalated
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ActuationRequest({self.vertex}: {self.p_before}->{self.target}, "
+            f"attempt {self.attempt})"
+        )
+
+
+class ReconciliationController:
+    """Converges actual parallelism to desired through unreliable actuation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheduler: "Scheduler",
+        runtime: "RuntimeGraph",
+        config: ActuationConfig,
+        streams: RandomStreams,
+        metrics=None,
+        trace_sink=None,
+        job_name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.scheduler = scheduler
+        self.runtime = runtime
+        self.config = config
+        #: deterministic actuation stream, independent of service-time
+        #: streams (adding it does not perturb existing stream draws)
+        self._rng = streams.get("actuation")
+        self.metrics = metrics
+        #: optional DecisionTrace receiving schema-v2 actuation records
+        self.trace_sink = trace_sink
+        self.job_name = job_name
+        #: desired parallelism per vertex (last accepted request target)
+        self.desired: Dict[str, int] = {}
+        #: in-flight request per vertex (at most one at a time)
+        self.in_flight: Dict[str, ActuationRequest] = {}
+        #: chronological actuation lifecycle log:
+        #: (time, kind, vertex, attempt, detail) — byte-comparable
+        self.log: List[Tuple[float, str, str, int, str]] = []
+        # lifetime counters (mirrored into the metrics registry when set)
+        self.requests = 0
+        self.retries = 0
+        self.failures = 0
+        self.give_ups = 0
+        self.applied = 0
+        self.escalations = 0
+        self.suppressed_hysteresis = 0
+        self.clamped_steps = 0
+        #: consecutive adjustment intervals with a violated constraint
+        #: while reconciliation lagged (watchdog trigger state)
+        self._lagging_intervals = 0
+        # fault windows set by ActuationFailure / ActuationDelay
+        # ("*" = all vertices)
+        self._fail_until: Dict[str, float] = {}
+        self._delay_windows: Dict[str, Tuple[float, float]] = {}
+
+    # ------------------------------------------------------------------
+    # bookkeeping helpers
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(f"actuation.{name}").inc(amount)
+
+    def _gauge(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(f"actuation.{name}").set(value)
+
+    def _record(self, kind: str, vertex: str, attempt: int, detail: str = "") -> None:
+        self.log.append((self.sim.now, kind, vertex, attempt, detail))
+
+    def _emit(self, record: TraceRecord) -> None:
+        if self.trace_sink is not None:
+            self.trace_sink.append(record)
+
+    def _trace(
+        self,
+        branch: str,
+        req: ActuationRequest,
+        detail: str,
+        p_applied: Optional[int] = None,
+    ) -> TraceRecord:
+        return TraceRecord(
+            self.sim.now, "*", branch,
+            vertex=req.vertex,
+            job=self.job_name,
+            round=req.round,
+            p_before=req.p_before,
+            p_target=req.target,
+            p_applied=p_applied,
+            attempt=req.attempt,
+            detail=detail,
+        )
+
+    # ------------------------------------------------------------------
+    # fault-window hooks (driven by simulation.faults)
+    # ------------------------------------------------------------------
+
+    def fail_actuations(self, vertex: Optional[str], until: float) -> None:
+        """Make every attempt for ``vertex`` (None = all) fail until ``until``."""
+        key = vertex if vertex is not None else "*"
+        self._fail_until[key] = max(self._fail_until.get(key, 0.0), until)
+
+    def delay_actuations(self, vertex: Optional[str], factor: float, until: float) -> None:
+        """Stretch provisioning delays for ``vertex`` (None = all) until ``until``."""
+        key = vertex if vertex is not None else "*"
+        self._delay_windows[key] = (factor, until)
+
+    def _fault_active(self, vertex: str) -> bool:
+        now = self.sim.now
+        return (
+            now < self._fail_until.get("*", 0.0)
+            or now < self._fail_until.get(vertex, 0.0)
+        )
+
+    def _delay_factor(self, vertex: str) -> float:
+        now = self.sim.now
+        factor = 1.0
+        for key in ("*", vertex):
+            window = self._delay_windows.get(key)
+            if window is not None and now < window[1]:
+                factor = max(factor, window[0])
+        return factor
+
+    # ------------------------------------------------------------------
+    # request intake (called by the elastic scaler)
+    # ------------------------------------------------------------------
+
+    def in_flight_vertices(self) -> List[str]:
+        """Vertices with a pending actuation (scaler suppresses these)."""
+        return sorted(self.in_flight)
+
+    def request(self, vertex: str, target: int, round: int = 0) -> int:
+        """Accept a rescaling order for ``vertex``; returns the accepted delta.
+
+        The target passes through the guardrails (vertex bounds clamp,
+        hysteresis dead-band, per-request ``max_step``) before an
+        :class:`ActuationRequest` is issued. Returns the signed change the
+        request aims for, or 0 when it was suppressed.
+        """
+        rv = self.runtime.vertex(vertex)
+        clamped = rv.job_vertex.clamp(target)
+        current = rv.target_parallelism
+        step = clamped - current
+        if step == 0:
+            self.desired.pop(vertex, None)
+            return 0
+        if self.config.hysteresis > 0 and abs(step) <= self.config.hysteresis:
+            self.suppressed_hysteresis += 1
+            self._count("suppressed_hysteresis")
+            self._record(
+                "suppressed", vertex, 0,
+                f"hysteresis: |{step}| <= {self.config.hysteresis}",
+            )
+            return 0
+        if self.config.max_step is not None and abs(step) > self.config.max_step:
+            self.clamped_steps += 1
+            self._count("clamped_steps")
+            limited = self.config.max_step if step > 0 else -self.config.max_step
+            self._record(
+                "clamped", vertex, 0,
+                f"max_step: {step:+d} -> {limited:+d}",
+            )
+            clamped = current + limited
+            step = limited
+        return self._issue(vertex, clamped, current, round)
+
+    def _issue(
+        self,
+        vertex: str,
+        target: int,
+        current: int,
+        round: int,
+        escalated: bool = False,
+    ) -> int:
+        req = ActuationRequest(
+            vertex, target, current, self.sim.now, round=round, escalated=escalated
+        )
+        self.desired[vertex] = target
+        self.in_flight[vertex] = req
+        self.requests += 1
+        self._count("requests")
+        self._gauge("in_flight", len(self.in_flight))
+        self._record("request", vertex, req.attempt, f"{current}->{target}")
+        self._emit(self._trace(
+            BRANCH_ACTUATION_PENDING, req,
+            "escalated actuation issued" if escalated else "actuation issued",
+        ))
+        self._schedule_attempt(req)
+        return target - current
+
+    # ------------------------------------------------------------------
+    # attempt lifecycle (simulator callbacks)
+    # ------------------------------------------------------------------
+
+    def _schedule_attempt(self, req: ActuationRequest) -> None:
+        delay = self.config.provisioning_delay.sample(self._rng)
+        delay *= self._delay_factor(req.vertex)
+        timed_out = delay > self.config.timeout
+        self.sim.schedule(min(delay, self.config.timeout), self._complete, req, timed_out)
+
+    def _complete(self, req: ActuationRequest, timed_out: bool) -> None:
+        if req.superseded:
+            return
+        failure = None
+        if timed_out:
+            failure = f"timeout after {self.config.timeout}s"
+        elif self._fault_active(req.vertex):
+            failure = "actuation fault window active"
+        elif self.config.failure_rate > 0.0 and self._rng.random() < self.config.failure_rate:
+            failure = "provisioning failure (sampled)"
+        if failure is None:
+            from repro.engine.resources import InsufficientResourcesError
+
+            try:
+                result = self.scheduler.set_parallelism(req.vertex, req.target)
+            except InsufficientResourcesError:
+                failure = "insufficient cluster resources"
+            else:
+                self._succeed(req, result.applied)
+                return
+        self._fail(req, failure)
+
+    def _succeed(self, req: ActuationRequest, applied: int) -> None:
+        self.in_flight.pop(req.vertex, None)
+        self.desired.pop(req.vertex, None)
+        self.applied += 1
+        self._count("applied")
+        self._gauge("in_flight", len(self.in_flight))
+        self._record("applied", req.vertex, req.attempt, f"delta={applied:+d}")
+
+    def _fail(self, req: ActuationRequest, reason: str) -> None:
+        self.failures += 1
+        self._count("failures")
+        self._record("failed", req.vertex, req.attempt, reason)
+        self._emit(self._trace(BRANCH_ACTUATION_FAILED, req, reason))
+        if req.attempt > self.config.max_retries:
+            self.give_ups += 1
+            self._count("give_ups")
+            self.in_flight.pop(req.vertex, None)
+            self._gauge("in_flight", len(self.in_flight))
+            self._record(
+                "give-up", req.vertex, req.attempt,
+                f"abandoned after {req.attempt} attempts",
+            )
+            return
+        backoff = min(
+            self.config.backoff_max,
+            self.config.backoff_base * self.config.backoff_factor ** (req.attempt - 1),
+        )
+        if self.config.backoff_jitter > 0.0:
+            backoff *= 1.0 + self.config.backoff_jitter * (2.0 * self._rng.random() - 1.0)
+        req.attempt += 1
+        self.retries += 1
+        self._count("retries")
+        self._record("retry", req.vertex, req.attempt, f"backoff={backoff:.3f}")
+        self._emit(self._trace(
+            BRANCH_RETRY_BACKOFF, req, f"retry in {backoff:.3f}s",
+        ))
+        self.sim.schedule(backoff, self._retry, req)
+
+    def _retry(self, req: ActuationRequest) -> None:
+        if req.superseded:
+            return
+        self._schedule_attempt(req)
+
+    # ------------------------------------------------------------------
+    # watchdog (driven from the adjustment tick)
+    # ------------------------------------------------------------------
+
+    def convergence_lag(self) -> int:
+        """Total |desired − actual target| parallelism across vertices."""
+        lag = 0
+        for vertex, target in self.desired.items():
+            lag += abs(target - self.runtime.vertex(vertex).target_parallelism)
+        return lag
+
+    def on_adjustment_tick(self, violated: bool) -> None:
+        """Per-interval watchdog: escalate when actuation lags a violation.
+
+        Called once per adjustment interval (after the scaler ran) with
+        whether any latency constraint is currently violated. When the
+        constraint has been violated for ``watchdog_intervals``
+        consecutive intervals while reconciliation lagged (desired ≠
+        actual), the watchdog supersedes the stuck requests and issues
+        bottleneck-style doubling orders, bypassing hysteresis and
+        ``max_step``.
+        """
+        lag = self.convergence_lag()
+        self._gauge("convergence_lag", lag)
+        if violated and lag > 0:
+            self._lagging_intervals += 1
+        else:
+            self._lagging_intervals = 0
+            return
+        if self._lagging_intervals < self.config.watchdog_intervals:
+            return
+        self._lagging_intervals = 0
+        for vertex in sorted(self.desired):
+            rv = self.runtime.vertex(vertex)
+            current = rv.target_parallelism
+            desired = self.desired[vertex]
+            if desired <= current:
+                continue  # escalation only accelerates scale-ups
+            pending = self.in_flight.get(vertex)
+            if pending is not None:
+                pending.superseded = True
+                self.in_flight.pop(vertex, None)
+            target = rv.job_vertex.clamp(max(desired, 2 * max(current, 1)))
+            self.escalations += 1
+            self._count("escalations")
+            self._record(
+                "escalate", vertex, 0,
+                f"watchdog: lagged {self.config.watchdog_intervals} intervals, "
+                f"{current}->{target}",
+            )
+            self._emit(TraceRecord(
+                self.sim.now, "*", BRANCH_WATCHDOG_ESCALATION,
+                vertex=vertex,
+                job=self.job_name,
+                p_before=current,
+                p_target=target,
+                detail=(
+                    f"reconciliation lagged violated constraint for "
+                    f"{self.config.watchdog_intervals} intervals; doubling"
+                ),
+            ))
+            self._issue(vertex, target, current, round=0, escalated=True)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def trace(self) -> List[Tuple[float, str, str, int, str]]:
+        """The actuation log as plain tuples (determinism assertions)."""
+        return list(self.log)
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-serializable lifetime summary for manifests/dashboards."""
+        return {
+            "requests": self.requests,
+            "retries": self.retries,
+            "failures": self.failures,
+            "give_ups": self.give_ups,
+            "applied": self.applied,
+            "escalations": self.escalations,
+            "suppressed_hysteresis": self.suppressed_hysteresis,
+            "clamped_steps": self.clamped_steps,
+            "in_flight": len(self.in_flight),
+            "convergence_lag": self.convergence_lag(),
+            "config": self.config.describe(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ReconciliationController({self.requests} requests, "
+            f"{self.retries} retries, {len(self.in_flight)} in flight)"
+        )

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
+from repro.actuation.config import ActuationConfig
 from repro.core.constraints import LatencyConstraint
 from repro.engine.udf import FilterUDF, FlatMapUDF, MapUDF, SinkUDF, SourceUDF, UDF
 from repro.obs.config import ObservabilityConfig
@@ -50,6 +51,7 @@ class BuiltPipeline:
         constraints: List[LatencyConstraint],
         fault_plan: Optional[FaultPlan] = None,
         observability: Optional[ObservabilityConfig] = None,
+        actuation: Optional[ActuationConfig] = None,
     ) -> None:
         self.graph = graph
         self.constraints = constraints
@@ -58,6 +60,9 @@ class BuiltPipeline:
         #: observability settings adopted by the engine at submit
         #: (None = leave the engine's own setting untouched)
         self.observability = observability
+        #: actuation supervision for this job (None = synchronous
+        #: rescaling, unless the engine config sets its own default)
+        self.actuation = actuation
 
     def submit_to(self, engine):
         """Convenience delegate for ``engine.submit(self)``.
@@ -95,6 +100,7 @@ class PipelineBuilder:
         self._fault_events: List[FaultSpec] = []
         self._fault_seed = 0
         self._observability: Optional[ObservabilityConfig] = None
+        self._actuation: Optional[ActuationConfig] = None
 
     # ------------------------------------------------------------------
     # stages
@@ -267,19 +273,44 @@ class PipelineBuilder:
         trace: bool = True,
         export_dir: Optional[str] = None,
         sample_interval: float = 5.0,
+        pin_wall_time: bool = False,
     ) -> "PipelineBuilder":
         """Opt the pipeline into observability (metrics/traces/exports).
 
         The resulting :class:`~repro.obs.config.ObservabilityConfig` is
         carried on the built pipeline and adopted by the engine at submit
         (unless the engine was constructed with its own config).
+        ``pin_wall_time`` writes ``wall_time_s: 0.0`` into exported
+        manifests so same-seed runs diff byte-for-byte.
         """
         self._observability = ObservabilityConfig(
             metrics=metrics,
             trace=trace,
             export_dir=export_dir,
             sample_interval=sample_interval,
+            pin_wall_time=pin_wall_time,
         )
+        return self
+
+    def actuate(
+        self,
+        config: Optional[ActuationConfig] = None,
+        **kwargs,
+    ) -> "PipelineBuilder":
+        """Opt the pipeline into supervised (failure-prone) actuation.
+
+        Pass a prebuilt :class:`~repro.actuation.ActuationConfig`, or
+        keyword arguments forwarded to its constructor:
+
+        >>> _ = PipelineBuilder("p").actuate(failure_rate=0.2, max_retries=8)
+
+        With supervision on, the scaler's decisions become asynchronous
+        retried :class:`~repro.actuation.ActuationRequest` orders; see
+        :mod:`repro.actuation`.
+        """
+        if config is not None and kwargs:
+            raise TypeError("pass either an ActuationConfig or keyword arguments, not both")
+        self._actuation = config if config is not None else ActuationConfig(**kwargs)
         return self
 
     def build(self) -> BuiltPipeline:
@@ -307,4 +338,5 @@ class PipelineBuilder:
             list(self._constraints),
             fault_plan=plan,
             observability=self._observability,
+            actuation=self._actuation,
         )

@@ -74,8 +74,19 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--spike-duration", type=float, default=10.0)
     chaos.add_argument("--worker-loss-at", type=float, default=-1.0,
                        help="lose one leased worker at this time (negative = off)")
+    chaos.add_argument("--actuation", action="store_true",
+                       help="supervised actuation: rescaling becomes asynchronous, "
+                            "failure-prone and retried (see repro.actuation)")
+    chaos.add_argument("--actuation-fail-at", type=float, default=5.0,
+                       help="with --actuation: start a window in which every "
+                            "actuation attempt fails (negative = off)")
+    chaos.add_argument("--actuation-fail-duration", type=float, default=20.0,
+                       help="length of the actuation-failure window (s)")
     chaos.add_argument("--obs-dir", metavar="DIR", default=None,
                        help="export manifest/metrics/trace into DIR after the run")
+    chaos.add_argument("--pin-wall-time", action="store_true",
+                       help="write wall_time_s=0.0 into the exported manifest so "
+                            "same-seed runs diff byte-for-byte")
 
     trace = sub.add_parser("trace", help="rate traces and scaler decision traces")
     trace.add_argument("--check", action="store_true",
@@ -259,6 +270,7 @@ def _run_chaos(args: argparse.Namespace) -> None:
     from repro.engine.engine import EngineConfig, StreamProcessingEngine
     from repro.experiments.recording import SeriesRecorder
     from repro.simulation.faults import (
+        ActuationFailure,
         MeasurementDropout,
         ServiceSpike,
         TaskCrash,
@@ -293,9 +305,19 @@ def _run_chaos(args: argparse.Namespace) -> None:
         )
     if args.worker_loss_at >= 0:
         builder.inject(WorkerLoss(at=args.worker_loss_at, restart_delay=args.restart_delay))
+    if args.actuation:
+        builder.actuate()
+        if args.actuation_fail_at >= 0:
+            builder.inject(
+                ActuationFailure(
+                    at=args.actuation_fail_at,
+                    duration=args.actuation_fail_duration,
+                    vertex="worker",
+                )
+            )
     builder.inject(seed=args.fault_seed)
     if args.obs_dir is not None:
-        builder.observe(export_dir=args.obs_dir)
+        builder.observe(export_dir=args.obs_dir, pin_wall_time=args.pin_wall_time)
     pipeline = builder.build()
 
     engine = StreamProcessingEngine(EngineConfig(elastic=True, seed=args.seed))
@@ -325,6 +347,15 @@ def _run_chaos(args: argparse.Namespace) -> None:
               f"{scaler.skipped_stale} stale constraints skipped, "
               f"{scaler.suppressed_scale_downs} scale-downs suppressed by "
               "recovery cooldown")
+    reconciler = engine.reconciler
+    if reconciler is not None:
+        print()
+        print(f"actuation: {reconciler.requests} requests, "
+              f"{reconciler.applied} applied, {reconciler.retries} retries, "
+              f"{reconciler.give_ups} give-ups, "
+              f"{reconciler.escalations} watchdog escalations")
+        print(f"  in flight: {len(reconciler.in_flight)}, "
+              f"convergence lag: {reconciler.convergence_lag()}")
     for tracker in engine.trackers:
         print(f"constraint {tracker.constraint.name}: "
               f"{tracker.fulfillment_ratio * 100:.1f}% fulfilled "

@@ -12,12 +12,15 @@ inactivity phase.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
 
 from repro.core.scale_reactively import ScaleReactivelyPolicy, ScalingDecision
 from repro.obs.trace import (
+    BRANCH_ACTUATION_PENDING,
     BRANCH_COOLDOWN,
     BRANCH_INACTIVE,
+    BRANCH_SCALE_DOWN_CLAMPED,
     BRANCH_UNRESOLVABLE,
     TraceRecord,
 )
@@ -57,6 +60,20 @@ class ElasticScaler:
         inactivity_intervals: int = 2,
         recovery_cooldown: float = 15.0,
     ) -> None:
+        if isinstance(recovery_cooldown, bool) or not isinstance(
+            recovery_cooldown, (int, float)
+        ):
+            raise TypeError(
+                f"recovery_cooldown must be a number (got {recovery_cooldown!r})"
+            )
+        if math.isnan(recovery_cooldown) or math.isinf(recovery_cooldown):
+            raise ValueError(
+                f"recovery_cooldown must be finite (got {recovery_cooldown!r})"
+            )
+        if recovery_cooldown < 0:
+            raise ValueError(
+                f"recovery_cooldown must be >= 0 (got {recovery_cooldown!r})"
+            )
         self.sim = sim
         self.scheduler = scheduler
         self.runtime = runtime
@@ -66,7 +83,7 @@ class ElasticScaler:
         #: seconds after a fault / fault recovery during which
         #: scale-downs are suppressed (measurements right after a crash
         #: or dropout under-report load; shrinking on them oscillates)
-        self.recovery_cooldown = recovery_cooldown
+        self.recovery_cooldown = float(recovery_cooldown)
         self._inactive_until = 0.0
         self._no_scale_down_until = 0.0
         #: log of scaler activations
@@ -84,6 +101,14 @@ class ElasticScaler:
         #: optional :class:`~repro.obs.trace.DecisionTrace` receiving the
         #: per-round decision records (None = tracing off)
         self.trace_sink = None
+        #: optional ReconciliationController; when set, scaling actions
+        #: become supervised ActuationRequests instead of synchronous
+        #: scheduler calls, and vertices with in-flight actuations are
+        #: not re-decided
+        self.reconciler = None
+        #: count of decision targets suppressed because an actuation for
+        #: the vertex was still in flight
+        self.suppressed_in_flight = 0
 
     def _emit(self, records) -> None:
         if self.trace_sink is not None:
@@ -148,6 +173,11 @@ class ElasticScaler:
         applied: Dict[str, int] = {}
         scaled_up = False
         cooldown = self.in_recovery_cooldown
+        in_flight = (
+            set(self.reconciler.in_flight_vertices())
+            if self.reconciler is not None
+            else ()
+        )
         for vertex_name, target in sorted(decision.parallelism.items()):
             if cooldown and target < current.get(vertex_name, target):
                 self.suppressed_scale_downs += 1
@@ -162,21 +192,54 @@ class ElasticScaler:
                     )
                 )
                 continue
-            try:
-                delta = self.scheduler.set_parallelism(vertex_name, target)
-            except InsufficientResourcesError:
-                self.unresolvable_log.append((self.sim.now, vertex_name))
+            if vertex_name in in_flight:
+                self.suppressed_in_flight += 1
                 extra_records.append(
                     TraceRecord(
-                        self.sim.now, "*", BRANCH_UNRESOLVABLE,
+                        self.sim.now, "*", BRANCH_ACTUATION_PENDING,
                         vertex=vertex_name,
                         job=self._job_name(), round=self.rounds,
                         p_before=current.get(vertex_name),
                         p_target=target,
-                        detail="insufficient cluster resources",
+                        detail="decision deferred: actuation in flight",
                     )
                 )
                 continue
+            if self.reconciler is not None:
+                delta = self.reconciler.request(
+                    vertex_name, target, round=self.rounds
+                )
+            else:
+                try:
+                    result = self.scheduler.set_parallelism(vertex_name, target)
+                except InsufficientResourcesError:
+                    self.unresolvable_log.append((self.sim.now, vertex_name))
+                    extra_records.append(
+                        TraceRecord(
+                            self.sim.now, "*", BRANCH_UNRESOLVABLE,
+                            vertex=vertex_name,
+                            job=self._job_name(), round=self.rounds,
+                            p_before=current.get(vertex_name),
+                            p_target=target,
+                            detail="insufficient cluster resources",
+                        )
+                    )
+                    continue
+                if result.requested < 0 and result.applied == 0:
+                    extra_records.append(
+                        TraceRecord(
+                            self.sim.now, "*", BRANCH_SCALE_DOWN_CLAMPED,
+                            vertex=vertex_name,
+                            job=self._job_name(), round=self.rounds,
+                            p_before=current.get(vertex_name),
+                            p_target=target,
+                            detail=(
+                                "reduction suppressed: no drainable tasks "
+                                "(min parallelism / pending additions)"
+                            ),
+                        )
+                    )
+                delta = result.applied
             if delta != 0:
                 applied[vertex_name] = delta
             if delta > 0:

@@ -19,6 +19,8 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.actuation.config import ActuationConfig
+from repro.actuation.reconciler import ReconciliationController
 from repro.core.batching_policy import AdaptiveBatchingPolicy
 from repro.core.constraints import ConstraintTracker, LatencyConstraint
 from repro.core.elastic_scaler import ElasticScaler
@@ -86,6 +88,9 @@ class EngineConfig:
     staleness_threshold: Optional[float] = 10.0
     #: post-fault cooldown on scale-downs (seconds; fault injection)
     recovery_cooldown: float = 15.0
+    #: actuation supervision (None = synchronous, infallible rescaling;
+    #: see :class:`repro.actuation.ActuationConfig`)
+    actuation: Optional[ActuationConfig] = None
     #: task startup delay in seconds (paper: 1-2 s)
     startup_delay: float = 1.5
     #: clamp for the fitting coefficient e_jv
@@ -153,6 +158,7 @@ class DeployedJob:
         constraints: Sequence[LatencyConstraint],
         vertex_probes: Dict[str, Callable[[float, object], None]],
         fault_plan: Optional[FaultPlan] = None,
+        actuation: Optional[ActuationConfig] = None,
     ) -> None:
         DeployedJob._ids += 1
         self.job_id = DeployedJob._ids
@@ -224,6 +230,24 @@ class DeployedJob:
                 recovery_cooldown=config.recovery_cooldown,
             )
             self.scaler.trace_sink = self.trace
+        #: actuation supervision (None = synchronous rescaling). The
+        #: per-job setting (from the pipeline builder) wins over the
+        #: engine-wide EngineConfig.actuation default.
+        self.reconciler: Optional[ReconciliationController] = None
+        effective_actuation = actuation if actuation is not None else config.actuation
+        if effective_actuation is not None and effective_actuation.enabled:
+            self.reconciler = ReconciliationController(
+                engine.sim,
+                self.scheduler,
+                self.runtime,
+                effective_actuation,
+                job_streams,
+                metrics=engine.metrics,
+                trace_sink=self.trace,
+                job_name=job_graph.name,
+            )
+            if self.scaler is not None:
+                self.scaler.reconciler = self.reconciler
         self.scheduler.deploy()
         #: armed fault injector (None for fault-free runs)
         self.fault_injector: Optional[FaultInjector] = None
@@ -305,6 +329,12 @@ class DeployedJob:
                 manager.apply_batching_deadlines(targets)
         if self.scaler is not None:
             self.scaler.on_global_summary(summary)
+        if self.reconciler is not None:
+            violated = any(
+                tracker.history and tracker.history[-1][2]
+                for tracker in self.trackers
+            )
+            self.reconciler.on_adjustment_tick(violated)
 
     # ------------------------------------------------------------------
     # results and lifecycle
@@ -477,6 +507,7 @@ class StreamProcessingEngine:
         job_graph,
         constraints: Sequence[LatencyConstraint] = (),
         fault_plan: Optional[FaultPlan] = None,
+        actuation: Optional[ActuationConfig] = None,
     ) -> DeployedJob:
         """Deploy a job and start its master control loop.
 
@@ -494,10 +525,10 @@ class StreamProcessingEngine:
 
         if isinstance(job_graph, BuiltPipeline):
             pipeline = job_graph
-            if constraints or fault_plan is not None:
+            if constraints or fault_plan is not None or actuation is not None:
                 raise TypeError(
-                    "submit(pipeline) takes no separate constraints/fault_plan — "
-                    "they are part of the BuiltPipeline"
+                    "submit(pipeline) takes no separate constraints/fault_plan/"
+                    "actuation — they are part of the BuiltPipeline"
                 )
             if self.observability is None and pipeline.observability is not None:
                 self.observability = pipeline.observability
@@ -506,12 +537,16 @@ class StreamProcessingEngine:
             job_graph = pipeline.graph
             constraints = pipeline.constraints
             fault_plan = pipeline.fault_plan
+            actuation = pipeline.actuation
         for job in self.jobs:
             if job.job_graph is job_graph:
                 raise RuntimeError("this job graph is already deployed")
         job_graph.validate()
         probes, self._pending_probes = self._pending_probes, {}
-        job = DeployedJob(self, job_graph, constraints, probes, fault_plan=fault_plan)
+        job = DeployedJob(
+            self, job_graph, constraints, probes,
+            fault_plan=fault_plan, actuation=actuation,
+        )
         self.jobs.append(job)
         return job
 
@@ -543,6 +578,11 @@ class StreamProcessingEngine:
     def fault_injector(self) -> Optional[FaultInjector]:
         """Fault injector of the first job (None if fault-free)."""
         return self.jobs[0].fault_injector if self.jobs else None
+
+    @property
+    def reconciler(self) -> Optional[ReconciliationController]:
+        """Reconciliation controller of the first job (None if unsupervised)."""
+        return self.jobs[0].reconciler if self.jobs else None
 
     @property
     def constraints(self) -> List[LatencyConstraint]:

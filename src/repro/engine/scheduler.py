@@ -16,7 +16,7 @@ scaling actions issued by the elastic scaler:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, NamedTuple, Optional
 
 from repro.engine.channel import NetworkModel, RuntimeChannel
 from repro.engine.batching import BatchingStrategy
@@ -26,6 +26,26 @@ from repro.engine.task import OutputGate, RuntimeTask
 from repro.graphs.job_graph import JobEdge, JobGraph, JobVertex
 from repro.simulation.kernel import Simulator
 from repro.simulation.randomness import RandomStreams
+
+
+class ScalingResult(NamedTuple):
+    """Outcome of one :meth:`Scheduler.set_parallelism` call.
+
+    ``requested`` is the signed change towards the (bounds-clamped)
+    target; ``applied`` is the signed change actually initiated. They
+    differ on scale-down when fewer tasks are drainable than asked
+    (tasks below ``min_parallelism`` and still-pending additions are
+    never drained) — ``requested < 0`` with ``applied == 0`` means the
+    reduction was suppressed entirely.
+    """
+
+    requested: int
+    applied: int
+
+    @property
+    def clamped(self) -> bool:
+        """Whether the action fell short of the requested change."""
+        return self.applied != self.requested
 
 
 class Scheduler:
@@ -162,11 +182,13 @@ class Scheduler:
     # scaling actions
     # ------------------------------------------------------------------
 
-    def set_parallelism(self, vertex_name: str, target: int) -> int:
+    def set_parallelism(self, vertex_name: str, target: int) -> ScalingResult:
         """Scale a vertex towards ``target`` parallelism.
 
-        Returns the signed change that was actually initiated (pending
-        scale-ups are counted, so repeated calls are idempotent).
+        Returns a :class:`ScalingResult` with the signed change towards
+        the clamped target (``requested``) and the signed change actually
+        initiated (``applied``). Pending scale-ups count as initiated, so
+        repeated calls are idempotent.
         """
         rv = self.runtime.vertex(vertex_name)
         job_vertex = rv.job_vertex
@@ -174,7 +196,7 @@ class Scheduler:
         current = rv.target_parallelism
         if target > current:
             self.scale_up(vertex_name, target - current)
-            return target - current
+            return ScalingResult(target - current, target - current)
         if target < current:
             # Never drain tasks that have not materialized yet; reductions
             # apply to live tasks only.
@@ -182,8 +204,8 @@ class Scheduler:
             reducible = max(0, min(reducible, rv.parallelism - 1))
             if reducible > 0:
                 self.scale_down(vertex_name, reducible)
-            return -reducible
-        return 0
+            return ScalingResult(target - current, -reducible)
+        return ScalingResult(0, 0)
 
     def scale_up(self, vertex_name: str, count: int) -> None:
         """Announce ``count`` new tasks; they start after the startup delay."""

@@ -130,6 +130,32 @@ class Dashboard:
             lines.append(f"  t={event.time:7.1f}s  [{event.reason}]  {changes}")
         return "\n".join(lines)
 
+    def actuation_section(self) -> Optional[str]:
+        """Reconciliation state (None when actuation supervision is off).
+
+        Returning None keeps the rendered dashboard byte-identical to
+        pre-actuation output for unsupervised jobs.
+        """
+        job = self._job()
+        reconciler = getattr(job, "reconciler", None) if job is not None else None
+        if reconciler is None:
+            return None
+        lines = [
+            "actuation:",
+            f"  requests={reconciler.requests}  applied={reconciler.applied}  "
+            f"retries={reconciler.retries}  give-ups={reconciler.give_ups}  "
+            f"escalations={reconciler.escalations}",
+            f"  in-flight={len(reconciler.in_flight)}  "
+            f"convergence-lag={reconciler.convergence_lag()}",
+        ]
+        for vertex in reconciler.in_flight_vertices():
+            req = reconciler.in_flight[vertex]
+            lines.append(
+                f"  pending {vertex}: {req.p_before}->{req.target} "
+                f"(attempt {req.attempt}, issued t={req.issued_at:.1f}s)"
+            )
+        return "\n".join(lines)
+
     def decisions_section(self, last: int = 6) -> str:
         """The most recent structured scaler decisions (trace records)."""
         job = self._job()
@@ -179,6 +205,11 @@ class Dashboard:
             self.series_section(),
             "",
             self.events_section(),
+        ]
+        actuation = self.actuation_section()
+        if actuation is not None:
+            sections += ["", actuation]
+        sections += [
             "",
             self.decisions_section(),
             "",

@@ -27,6 +27,10 @@ class ObservabilityConfig:
     export_dir: Optional[str] = None
     #: metrics sampling interval in virtual seconds
     sample_interval: float = 5.0
+    #: write ``wall_time_s: 0.0`` into exported manifests instead of the
+    #: real wall-clock duration — the only nondeterministic manifest
+    #: field; pin it when diffing same-seed runs byte-for-byte
+    pin_wall_time: bool = False
 
     def __post_init__(self) -> None:
         if self.sample_interval <= 0:

@@ -134,7 +134,13 @@ def build_manifest(job, wall_time_s: Optional[float] = None) -> RunManifest:
             "suppressed_scale_downs": scaler.suppressed_scale_downs,
             "unresolvable": len(scaler.unresolvable_log),
         }
+    reconciler = getattr(job, "reconciler", None)
     obs = engine.observability
+    if wall_time_s is None:
+        if obs is not None and getattr(obs, "pin_wall_time", False):
+            wall_time_s = 0.0
+        else:
+            wall_time_s = engine.wall_time_s
     trace = getattr(job, "trace", None)
     fault_plan = job.fault_injector.plan if job.fault_injector is not None else None
     data: Dict[str, object] = {
@@ -146,7 +152,7 @@ def build_manifest(job, wall_time_s: Optional[float] = None) -> RunManifest:
         "constraints": constraints,
         "fault_plan": _fault_plan_dict(fault_plan),
         "virtual_time_s": engine.now,
-        "wall_time_s": wall_time_s if wall_time_s is not None else engine.wall_time_s,
+        "wall_time_s": wall_time_s,
         "final_parallelism": final_parallelism,
         "scaling": scaling,
         "observability": {
@@ -156,6 +162,10 @@ def build_manifest(job, wall_time_s: Optional[float] = None) -> RunManifest:
         },
         "files": {},
     }
+    # Supervised-actuation section only when the job runs a reconciler,
+    # so unsupervised manifests keep their pre-actuation byte layout.
+    if reconciler is not None:
+        data["actuation"] = reconciler.summary()
     return RunManifest(data)
 
 

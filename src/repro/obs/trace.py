@@ -12,6 +12,17 @@ it from the parallelism series.
 Records use a versioned, flat JSON schema (``trace.jsonl``, one record
 per line) consumed by ``python -m repro trace show`` / ``--check`` and
 the :class:`~repro.experiments.dashboard.Dashboard` decisions panel.
+
+Schema history
+--------------
+* **v1** — the original eight Algorithm-2 branches.
+* **v2** — actuation supervision: new branches ``actuation-pending``,
+  ``actuation-failed``, ``retry-backoff``, ``watchdog-escalation`` and
+  ``scale-down-clamped``, plus the optional integer ``attempt`` field
+  (which actuation attempt a record belongs to). v1 files remain
+  readable (``attempt`` defaults to null); a v1 record using a v2-only
+  branch or the ``attempt`` field is a validation error. Writers always
+  emit the current version.
 """
 
 from __future__ import annotations
@@ -22,7 +33,10 @@ import os
 from typing import Dict, Iterable, Iterator, List, Optional
 
 #: bump when the record schema changes incompatibly
-TRACE_SCHEMA_VERSION = 1
+TRACE_SCHEMA_VERSION = 2
+
+#: schema versions this module can still read (v1 is a strict subset)
+SUPPORTED_TRACE_SCHEMAS = frozenset({1, TRACE_SCHEMA_VERSION})
 
 # --- branch names (which part of Algorithm 2 produced the record) -------
 BRANCH_REBALANCE = "rebalance"
@@ -34,7 +48,14 @@ BRANCH_INACTIVE = "inactive"
 BRANCH_COOLDOWN = "cooldown-suppressed"
 BRANCH_UNRESOLVABLE = "unresolvable"
 
-BRANCHES = frozenset({
+# --- v2 branches (actuation supervision lifecycle) ----------------------
+BRANCH_ACTUATION_PENDING = "actuation-pending"
+BRANCH_ACTUATION_FAILED = "actuation-failed"
+BRANCH_RETRY_BACKOFF = "retry-backoff"
+BRANCH_WATCHDOG_ESCALATION = "watchdog-escalation"
+BRANCH_SCALE_DOWN_CLAMPED = "scale-down-clamped"
+
+V1_BRANCHES = frozenset({
     BRANCH_REBALANCE,
     BRANCH_BOTTLENECK,
     BRANCH_STALE_SKIP,
@@ -45,7 +66,18 @@ BRANCHES = frozenset({
     BRANCH_UNRESOLVABLE,
 })
 
-#: the frozen field order of the JSONL schema (append-only by policy)
+V2_BRANCHES = frozenset({
+    BRANCH_ACTUATION_PENDING,
+    BRANCH_ACTUATION_FAILED,
+    BRANCH_RETRY_BACKOFF,
+    BRANCH_WATCHDOG_ESCALATION,
+    BRANCH_SCALE_DOWN_CLAMPED,
+})
+
+BRANCHES = V1_BRANCHES | V2_BRANCHES
+
+#: the frozen field order of the JSONL schema (append-only by policy;
+#: ``attempt`` was appended in v2)
 TRACE_FIELDS = (
     "schema",
     "time",
@@ -64,6 +96,7 @@ TRACE_FIELDS = (
     "p_target",
     "p_applied",
     "detail",
+    "attempt",
 )
 
 
@@ -88,6 +121,7 @@ class TraceRecord:
         "time", "job", "round", "constraint", "vertex", "branch", "budget",
         "measured_wait", "predicted_wait", "e", "utilization",
         "utilization_at_target", "p_before", "p_target", "p_applied", "detail",
+        "attempt",
     )
 
     def __init__(
@@ -108,6 +142,7 @@ class TraceRecord:
         p_target: Optional[int] = None,
         p_applied: Optional[int] = None,
         detail: str = "",
+        attempt: Optional[int] = None,
     ) -> None:
         if branch not in BRANCHES:
             raise ValueError(f"unknown trace branch {branch!r} (have: {sorted(BRANCHES)})")
@@ -127,6 +162,7 @@ class TraceRecord:
         self.p_target = p_target
         self.p_applied = p_applied
         self.detail = detail
+        self.attempt = attempt
 
     def to_dict(self) -> Dict[str, object]:
         """The record as a dict in the frozen schema field order."""
@@ -139,9 +175,10 @@ class TraceRecord:
     def from_dict(cls, data: Dict[str, object]) -> "TraceRecord":
         """Parse a dict produced by :meth:`to_dict` (schema-checked)."""
         schema = data.get("schema")
-        if schema != TRACE_SCHEMA_VERSION:
+        if schema not in SUPPORTED_TRACE_SCHEMAS:
             raise ValueError(
-                f"unsupported trace schema {schema!r} (expected {TRACE_SCHEMA_VERSION})"
+                f"unsupported trace schema {schema!r} "
+                f"(supported: {sorted(SUPPORTED_TRACE_SCHEMAS)})"
             )
         kwargs = {field: data[field] for field in TRACE_FIELDS[1:] if field in data}
         missing = [f for f in ("time", "constraint", "branch") if f not in kwargs]
@@ -236,15 +273,19 @@ _NUMERIC_OPTIONAL = (
     "budget", "measured_wait", "predicted_wait", "e",
     "utilization", "utilization_at_target",
 )
-_INT_OPTIONAL = ("p_before", "p_target", "p_applied")
+_INT_OPTIONAL = ("p_before", "p_target", "p_applied", "attempt")
 
 
 def validate_record_dict(data: Dict[str, object], line: int = 0) -> List[str]:
     """Schema errors of one parsed record dict (empty list = valid)."""
     where = f"line {line}: " if line else ""
     errors: List[str] = []
-    if data.get("schema") != TRACE_SCHEMA_VERSION:
-        errors.append(f"{where}schema must be {TRACE_SCHEMA_VERSION} (got {data.get('schema')!r})")
+    schema = data.get("schema")
+    if schema not in SUPPORTED_TRACE_SCHEMAS:
+        errors.append(
+            f"{where}schema must be one of {sorted(SUPPORTED_TRACE_SCHEMAS)} "
+            f"(got {schema!r})"
+        )
     unknown = [k for k in data if k not in TRACE_FIELDS]
     if unknown:
         errors.append(f"{where}unknown fields {unknown}")
@@ -255,6 +296,10 @@ def validate_record_dict(data: Dict[str, object], line: int = 0) -> List[str]:
     branch = data.get("branch")
     if branch not in BRANCHES:
         errors.append(f"{where}branch {branch!r} not in {sorted(BRANCHES)}")
+    elif schema == 1 and branch in V2_BRANCHES:
+        errors.append(f"{where}branch {branch!r} requires schema >= 2")
+    if schema == 1 and data.get("attempt") is not None:
+        errors.append(f"{where}attempt field requires schema >= 2")
     vertex = data.get("vertex")
     if vertex is not None and not isinstance(vertex, str):
         errors.append(f"{where}vertex must be a string or null")
@@ -267,6 +312,8 @@ def validate_record_dict(data: Dict[str, object], line: int = 0) -> List[str]:
         if value is not None and not isinstance(value, int):
             errors.append(f"{where}{field} must be an integer or null")
     if branch in (BRANCH_REBALANCE, BRANCH_BOTTLENECK) and vertex is None:
+        errors.append(f"{where}{branch} records must name a vertex")
+    if branch in V2_BRANCHES and vertex is None:
         errors.append(f"{where}{branch} records must name a vertex")
     return errors
 

@@ -101,8 +101,47 @@ class ServiceSpike:
     duration: float = 5.0
 
 
+@dataclass(frozen=True)
+class ActuationFailure:
+    """Make every actuation attempt fail for ``duration`` seconds.
+
+    Models a broken provisioning path (cluster manager outage, image
+    registry down): the scaler's orders are accepted but every attempt
+    completing inside the window fails, so the
+    :class:`~repro.actuation.reconciler.ReconciliationController` keeps
+    retrying with backoff until the window ends — or its watchdog
+    escalates. ``vertex=None`` hits all vertices. No-op (recorded as
+    such) when the job runs without actuation supervision.
+    """
+
+    at: float
+    duration: float
+    vertex: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ActuationDelay:
+    """Stretch actuation provisioning delays by ``factor`` for a window.
+
+    Models slow provisioning (cold machines, congested scheduler): each
+    attempt issued inside the window samples its provisioning delay and
+    multiplies it by ``factor`` — pushing samples past the actuation
+    ``timeout`` turns slowness into failed attempts. ``vertex=None``
+    hits all vertices. No-op (recorded as such) when the job runs
+    without actuation supervision.
+    """
+
+    at: float
+    duration: float
+    vertex: Optional[str] = None
+    factor: float = 3.0
+
+
 #: any schedulable fault spec
-FaultSpec = Union[TaskCrash, WorkerLoss, MeasurementDropout, ServiceSpike]
+FaultSpec = Union[
+    TaskCrash, WorkerLoss, MeasurementDropout, ServiceSpike,
+    ActuationFailure, ActuationDelay,
+]
 
 
 @dataclass
@@ -205,6 +244,10 @@ class FaultInjector:
             self._inject_dropout(spec)
         elif isinstance(spec, ServiceSpike):
             self._inject_spike(spec)
+        elif isinstance(spec, ActuationFailure):
+            self._inject_actuation_failure(spec)
+        elif isinstance(spec, ActuationDelay):
+            self._inject_actuation_delay(spec)
         else:  # pragma: no cover - plan validation catches this
             raise TypeError(f"unknown fault spec {spec!r}")
 
@@ -283,6 +326,33 @@ class FaultInjector:
         for task in victims:
             task.service_multiplier /= spec.factor
         self._recovered("service_spike_end", spec.vertex)
+
+    def _inject_actuation_failure(self, spec: ActuationFailure) -> None:
+        target = spec.vertex if spec.vertex is not None else "*"
+        reconciler = getattr(self.job, "reconciler", None)
+        if reconciler is None:
+            self._record("actuation_failure", target, "noop:supervision-disabled")
+            return
+        until = self.sim.now + spec.duration
+        reconciler.fail_actuations(spec.vertex, until)
+        self._record("actuation_failure", target, f"duration={spec.duration}")
+        self._notify_scaler()
+        self.sim.schedule(spec.duration, self._recovered, "actuation_restored", target)
+
+    def _inject_actuation_delay(self, spec: ActuationDelay) -> None:
+        target = spec.vertex if spec.vertex is not None else "*"
+        reconciler = getattr(self.job, "reconciler", None)
+        if reconciler is None:
+            self._record("actuation_delay", target, "noop:supervision-disabled")
+            return
+        until = self.sim.now + spec.duration
+        reconciler.delay_actuations(spec.vertex, spec.factor, until)
+        self._record(
+            "actuation_delay", target,
+            f"factor={spec.factor},duration={spec.duration}",
+        )
+        self._notify_scaler()
+        self.sim.schedule(spec.duration, self._recovered, "actuation_delay_end", target)
 
     def _recovered(self, kind: str, target: str) -> None:
         self._record(kind, target)

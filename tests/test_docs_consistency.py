@@ -42,6 +42,9 @@ class TestPublicApi:
             "repro.core",
             "repro.core.policies",
             "repro.core.predictive",
+            "repro.actuation",
+            "repro.actuation.config",
+            "repro.actuation.reconciler",
             "repro.analysis",
             "repro.workloads",
             "repro.workloads.traces",

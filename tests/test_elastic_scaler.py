@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.elastic_scaler import ElasticScaler, ScalingEvent
 from repro.core.scale_reactively import ScalingDecision
+from repro.engine.scheduler import ScalingResult
 from repro.simulation.kernel import Simulator
 
 
@@ -30,7 +31,8 @@ class FakeScheduler:
 
     def set_parallelism(self, vertex, target):
         self.calls.append((vertex, target))
-        return self.deltas.get(vertex, 0)
+        delta = self.deltas.get(vertex, 0)
+        return ScalingResult(delta, delta)
 
 
 class FakeVertex:

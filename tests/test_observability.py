@@ -137,14 +137,35 @@ class TestMetricsPrimitives:
 # trace records and schema stability
 # ----------------------------------------------------------------------
 
-#: a golden record in the v1 JSONL wire format — if this test breaks,
-#: the schema changed and TRACE_SCHEMA_VERSION must be bumped
-GOLDEN_RECORD = (
+#: a golden record in the legacy v1 JSONL wire format — v1 files must
+#: stay readable after the v2 bump (the ``attempt`` field defaults null)
+GOLDEN_RECORD_V1 = (
     '{"schema": 1, "time": 35.000001, "job": "obs-test", "round": 7, '
     '"constraint": "e2e", "vertex": "worker", "branch": "rebalance", '
     '"budget": 0.0052, "measured_wait": 0.0009, "predicted_wait": 0.0017, '
     '"e": 0.96, "utilization": 0.41, "utilization_at_target": 0.55, '
     '"p_before": 4, "p_target": 3, "p_applied": -1, "detail": ""}'
+)
+
+#: a golden record in the current (v2) wire format — if this test
+#: breaks, the schema changed and TRACE_SCHEMA_VERSION must be bumped
+GOLDEN_RECORD = (
+    '{"schema": 2, "time": 35.000001, "job": "obs-test", "round": 7, '
+    '"constraint": "e2e", "vertex": "worker", "branch": "rebalance", '
+    '"budget": 0.0052, "measured_wait": 0.0009, "predicted_wait": 0.0017, '
+    '"e": 0.96, "utilization": 0.41, "utilization_at_target": 0.55, '
+    '"p_before": 4, "p_target": 3, "p_applied": -1, "detail": "", '
+    '"attempt": null}'
+)
+
+#: a v2-only record: an actuation retry with the new attempt field
+GOLDEN_ACTUATION_RECORD = (
+    '{"schema": 2, "time": 41.5, "job": "obs-test", "round": 0, '
+    '"constraint": "*", "vertex": "worker", "branch": "retry-backoff", '
+    '"budget": null, "measured_wait": null, "predicted_wait": null, '
+    '"e": null, "utilization": null, "utilization_at_target": null, '
+    '"p_before": 4, "p_target": 8, "p_applied": null, '
+    '"detail": "retry in 2.000s", "attempt": 2}'
 )
 
 
@@ -154,7 +175,7 @@ class TestTraceSchema:
             "schema", "time", "job", "round", "constraint", "vertex",
             "branch", "budget", "measured_wait", "predicted_wait", "e",
             "utilization", "utilization_at_target", "p_before", "p_target",
-            "p_applied", "detail",
+            "p_applied", "detail", "attempt",
         )
 
     def test_golden_round_trip(self):
@@ -163,6 +184,35 @@ class TestTraceSchema:
         assert record.to_dict() == data
         assert json.loads(record.to_json()) == data
         assert validate_record_dict(data) == []
+
+    def test_golden_actuation_round_trip(self):
+        data = json.loads(GOLDEN_ACTUATION_RECORD)
+        record = TraceRecord.from_dict(data)
+        assert record.attempt == 2
+        assert record.to_dict() == data
+        assert validate_record_dict(data) == []
+
+    def test_v1_record_still_parses(self):
+        # migration: v1 files remain readable; re-serialization upgrades
+        # to the current schema with attempt defaulting to null
+        data = json.loads(GOLDEN_RECORD_V1)
+        record = TraceRecord.from_dict(data)
+        assert record.attempt is None
+        out = record.to_dict()
+        assert out["schema"] == 2
+        assert out["attempt"] is None
+        assert {k: v for k, v in out.items() if k not in ("schema", "attempt")} == {
+            k: v for k, v in data.items() if k != "schema"
+        }
+        assert validate_record_dict(data) == []
+
+    def test_v1_record_cannot_use_v2_branches_or_attempt(self):
+        data = json.loads(GOLDEN_RECORD_V1)
+        data["branch"] = "actuation-pending"
+        assert any("requires schema >= 2" in e for e in validate_record_dict(data))
+        data = json.loads(GOLDEN_RECORD_V1)
+        data["attempt"] = 1
+        assert any("requires schema >= 2" in e for e in validate_record_dict(data))
 
     def test_unknown_branch_rejected(self):
         with pytest.raises(ValueError):

@@ -93,9 +93,10 @@ class TestScaleUp:
     def test_set_parallelism_idempotent_with_pending(self):
         engine = deploy()
         engine.run(1.0)
-        assert engine.scheduler.set_parallelism("Worker", 5) == 3
+        result = engine.scheduler.set_parallelism("Worker", 5)
+        assert (result.requested, result.applied) == (3, 3)
         # pending additions count towards target: no double scale-up
-        assert engine.scheduler.set_parallelism("Worker", 5) == 0
+        assert engine.scheduler.set_parallelism("Worker", 5) == (0, 0)
 
     def test_scale_up_clamped_to_max(self):
         engine = deploy(worker_max=4)
