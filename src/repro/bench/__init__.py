@@ -1,0 +1,25 @@
+"""Pinned-seed benchmark harness (``python -m repro bench``).
+
+See :mod:`repro.bench.core` for the benchmark inventory and
+:mod:`repro.bench.legacy` for the frozen pre-fast-path kernel baseline.
+"""
+
+from repro.bench.core import (
+    BENCH_FILE,
+    BENCH_SCHEMA_VERSION,
+    check_regression,
+    format_results,
+    load_results,
+    run_benchmarks,
+    write_results,
+)
+
+__all__ = [
+    "BENCH_FILE",
+    "BENCH_SCHEMA_VERSION",
+    "check_regression",
+    "format_results",
+    "load_results",
+    "run_benchmarks",
+    "write_results",
+]

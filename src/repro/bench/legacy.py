@@ -1,0 +1,107 @@
+"""The pre-fast-path simulation kernel, frozen as the benchmark baseline.
+
+This is a verbatim, self-contained snapshot of ``repro.simulation``'s
+``Event`` + ``Simulator`` as they stood *before* the fast-path PR
+(tuple-keyed heap, event pool, fire-and-forget scheduling, batch
+walker). The kernel microbenchmark runs the same event workload against
+this baseline and the live kernel, so ``BENCH_core.json`` records a
+machine-independent speedup factor that CI can regression-check without
+caring about absolute host speed.
+
+Do not "fix" or optimize this module — its whole value is staying
+byte-for-byte what the seed shipped. It is exercised only by
+``repro.bench`` and its tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class LegacyEvent:
+    """Pre-PR event handle: ordered via Python-level ``__lt__`` calls."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def sort_key(self) -> Tuple[float, int]:
+        return (self.time, self.seq)
+
+    def __lt__(self, other: "LegacyEvent") -> bool:
+        return self.sort_key() < other.sort_key()
+
+
+class LegacySimulator:
+    """Pre-PR kernel: one heap-resident ``LegacyEvent`` object per event."""
+
+    def __init__(self) -> None:
+        self._heap: List[LegacyEvent] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+        self._fired_events = 0
+        self._max_heap = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def fired_events(self) -> int:
+        return self._fired_events
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> LegacyEvent:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> LegacyEvent:
+        if time < self._now:
+            raise ValueError(f"cannot schedule into the past (time={time}, now={self._now})")
+        event = LegacyEvent(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        if len(self._heap) > self._max_heap:
+            self._max_heap = len(self._heap)
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        if self._running:
+            raise RuntimeError("simulator is already running (re-entrant run())")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                self._fired_events += 1
+                fired += 1
+                event.callback(*event.args)
+                if max_events is not None and fired >= max_events:
+                    break
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False

@@ -18,6 +18,10 @@ Commands
 ``trace show`` / ``trace --check``
     Inspect or schema-validate an exported observability directory
     (scaler decision records and the run manifest).
+``bench``
+    Run the pinned-seed micro/macro benchmark suite and write
+    ``BENCH_core.json`` (``--quick`` for the CI smoke variant,
+    ``--check BASELINE`` to fail on >30% speedup regression).
 ``info``
     Show version and the experiment inventory.
 """
@@ -107,6 +111,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="observability export directory (default: .)")
     show.add_argument("--last", type=int, default=10,
                       help="number of most recent decision records to print")
+
+    bench = sub.add_parser("bench", help="run the benchmark suite, write BENCH_core.json")
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced event counts and macro duration (CI smoke)")
+    bench.add_argument("--out", metavar="PATH", default="BENCH_core.json",
+                       help="results file to write (default: BENCH_core.json)")
+    bench.add_argument("--check", metavar="BASELINE", default=None,
+                       help="compare micro speedups against a committed results "
+                            "file; exit 1 on >30%% regression")
+    bench.add_argument("--no-macro", action="store_true",
+                       help="skip the elastic TwitterSentiment macro benchmark")
 
     sub.add_parser("info", help="version and experiment inventory")
     return parser
@@ -395,6 +410,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         _run_obs(args)
         return 0
+    if args.command == "bench":
+        from repro.bench.core import main as bench_main
+
+        bench_argv = ["--out", args.out]
+        if args.quick:
+            bench_argv.append("--quick")
+        if args.no_macro:
+            bench_argv.append("--no-macro")
+        if args.check is not None:
+            bench_argv.extend(["--check", args.check])
+        return bench_main(bench_argv)
     if args.command == "chaos":
         _run_chaos(args)
         return 0

@@ -95,14 +95,28 @@ class VertexModel:
         self.b = arrival_rate * service_mean * p_current
         #: scaled numerator: a = e · λ · S̄² · p · (c_A² + c_S²)/2
         self.a = fitting_coefficient * arrival_rate * service_mean ** 2 * p_current * variability
+        #: ⌊b⌋ + 1 precomputed once; ``a``/``b`` are fixed after fitting
+        self._min_stable = max(1, math.floor(self.b) + 1)
+        # Rebalance's gradient descent re-evaluates W(p*) for the same
+        # handful of candidate parallelisms across steps (every
+        # ``total_waiting_time`` call touches every vertex, but only one
+        # vertex moved); memoizing the Kingman sub-expression per p* turns
+        # those re-evaluations into dict hits.
+        self._wait_cache: Dict[int, float] = {}
 
     def waiting_time(self, p_star: int) -> float:
         """Predicted queue wait at parallelism ``p_star`` (``inf`` if unstable)."""
-        if p_star <= self.b:
-            return INFINITY
-        if self.a == 0.0:
-            return 0.0
-        return self.a / (p_star - self.b)
+        cache = self._wait_cache
+        wait = cache.get(p_star)
+        if wait is None:
+            if p_star <= self.b:
+                wait = INFINITY
+            elif self.a == 0.0:
+                wait = 0.0
+            else:
+                wait = self.a / (p_star - self.b)
+            cache[p_star] = wait
+        return wait
 
     def marginal_gain(self, p_star: int) -> float:
         """``Δ = W(p*+1) − W(p*)`` (non-positive; ``-inf`` from instability)."""
@@ -136,7 +150,7 @@ class VertexModel:
 
     def min_stable_parallelism(self) -> int:
         """Smallest integer parallelism with utilization < 1."""
-        return max(1, math.floor(self.b) + 1)
+        return self._min_stable
 
     def utilization_at(self, p_star: int) -> float:
         """Extrapolated utilization ``ρ(p*) = λ S̄ p / p*`` (Eq. 5)."""

@@ -153,7 +153,8 @@ class RuntimeChannel:
         if self.batches_shipped == 0:
             transfer += self.network.connection_setup
         self.batches_shipped += 1
-        self.sim.schedule(transfer, self._arrive, list(items))
+        # Fire-and-forget: never cancelled (_arrive drops on closed channels).
+        self.sim.schedule_fire(transfer, self._arrive, list(items))
 
     def add_unblock_waiter(self, callback: Callable[[], None]) -> None:
         """Register a one-shot callback fired when credits free up."""

@@ -50,9 +50,10 @@ class BoundedQueue:
 
     def try_put(self, item: DataItem, source: object) -> bool:
         """Enqueue if space allows; returns whether the item was accepted."""
-        if self.is_full:
+        items = self._items
+        if len(items) >= self.capacity:
             return False
-        self._items.append((item, source))
+        items.append((item, source))
         self.total_enqueued += 1
         return True
 
@@ -63,7 +64,8 @@ class BoundedQueue:
         remains. Raises ``IndexError`` when empty.
         """
         entry = self._items.popleft()
-        self._notify_space()
+        if self._space_listeners:
+            self._notify_space()
         return entry
 
     def peek_time(self) -> Optional[float]:

@@ -23,8 +23,8 @@ reports read-write task latencies per consumed item.
 from __future__ import annotations
 
 import random
-from collections import OrderedDict
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.engine.batching import AdaptiveDeadlineBatching, BatchingStrategy
 from repro.engine.channel import NetworkModel, RuntimeChannel
@@ -217,7 +217,7 @@ class RuntimeTask:
         # processing state
         self._busy = False
         self._pop_time = 0.0
-        self._backlog: List[Tuple[OutputGate, RuntimeChannel, DataItem]] = []
+        self._backlog: Deque[Tuple[OutputGate, RuntimeChannel, DataItem]] = deque()
         self._blocked_on: Optional[RuntimeChannel] = None
         self._overhead_debt = 0.0
         self._last_enqueue: Optional[float] = None
@@ -338,7 +338,7 @@ class RuntimeTask:
             self._drain_probe = None
         # In-memory work dies with the process.
         self._busy = False
-        self._backlog = []
+        self._backlog = deque()
         self._blocked_on = None
         # Close inbound channels first so their parked batches are dropped
         # rather than re-delivered when the queue drain frees space.
@@ -389,7 +389,8 @@ class RuntimeTask:
         service = udf_service + self._overhead_debt
         self._overhead_debt = 0.0
         self.busy_time += udf_service
-        self.sim.schedule(service, self._complete_service, item)
+        # Fire-and-forget: never cancelled (the callback guards on state).
+        self.sim.schedule_fire(service, self._complete_service, item)
 
     def _complete_service(self, item: DataItem) -> None:
         if self.state == STOPPED:
@@ -441,17 +442,18 @@ class RuntimeTask:
 
     def _drain_backlog(self) -> bool:
         """Emit backlog items in order; returns False if blocked."""
-        while self._backlog:
-            gate, channel, item = self._backlog[0]
+        backlog = self._backlog
+        while backlog:
+            gate, channel, item = backlog[0]
             if channel.closed:
-                self._backlog.pop(0)
+                backlog.popleft()
                 continue
             if not gate.emit(channel, item):
                 if self._blocked_on is not channel:
                     self._blocked_on = channel
                     channel.add_unblock_waiter(self._on_unblocked)
                 return False
-            self._backlog.pop(0)
+            backlog.popleft()
             self.items_emitted += 1
         self._blocked_on = None
         return True
@@ -519,7 +521,8 @@ class RuntimeTask:
         # emissions below saturation).
         interval = max(interval, self._overhead_debt)
         self._overhead_debt = 0.0
-        self.sim.schedule(interval, self._source_tick)
+        # Fire-and-forget: never cancelled (the callback guards on state).
+        self.sim.schedule_fire(interval, self._source_tick)
 
     def _source_tick(self) -> None:
         if self.state != RUNNING:

@@ -184,22 +184,22 @@ class JobGraph:
 
     def topological_order(self) -> List[JobVertex]:
         """Vertices in a deterministic topological order."""
+        import heapq
+
         order: List[JobVertex] = []
         in_degree = {name: len(v.inputs) for name, v in self.vertices.items()}
+        # A name-keyed min-heap yields the same lexicographic-among-ready
+        # order the previous sort-per-iteration produced, in O(E log V).
         ready = [name for name, deg in in_degree.items() if deg == 0]
-        ready.sort()
+        heapq.heapify(ready)
         while ready:
-            name = ready.pop(0)
+            name = heapq.heappop(ready)
             vertex = self.vertices[name]
             order.append(vertex)
-            newly_ready = []
             for edge in vertex.outputs:
                 in_degree[edge.target.name] -= 1
                 if in_degree[edge.target.name] == 0:
-                    newly_ready.append(edge.target.name)
-            for item in sorted(newly_ready):
-                ready.append(item)
-            ready.sort()
+                    heapq.heappush(ready, edge.target.name)
         if len(order) != len(self.vertices):
             raise GraphError("job graph contains a cycle")
         return order

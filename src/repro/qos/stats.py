@@ -111,6 +111,28 @@ class StatsSnapshot:
         return f"StatsSnapshot(n={self.count}, mean={self.mean:.6g})"
 
 
+class WindowAggregates:
+    """The pooled aggregates of one :class:`WindowedStats` window state."""
+
+    __slots__ = ("has_data", "count", "mean", "weighted_mean", "variance", "cv")
+
+    def __init__(
+        self,
+        has_data: bool,
+        count: int,
+        mean: float,
+        weighted_mean: float,
+        variance: float,
+        cv: float,
+    ) -> None:
+        self.has_data = has_data
+        self.count = count
+        self.mean = mean
+        self.weighted_mean = weighted_mean
+        self.variance = variance
+        self.cv = cv
+
+
 class WindowedStats:
     """Keeps the last ``window`` interval snapshots and pools them.
 
@@ -123,6 +145,13 @@ class WindowedStats:
     everything, so stale measurements from a past burst cannot linger on
     a now-idle task or channel (they would otherwise freeze the latency
     model's view of it).
+
+    Aggregates are computed *once per window mutation* and memoized (the
+    QoS summary builders read ``mean``/``cv``/``count`` several times per
+    interval; pre-fast-path each read re-scanned the snapshot window).
+    The single recomputation walks the snapshots in the same order and
+    with the same arithmetic as the former per-property scans, so results
+    are bit-identical.
     """
 
     def __init__(self, window: int = 5) -> None:
@@ -130,64 +159,82 @@ class WindowedStats:
             raise ValueError(f"window must be >= 1 (got {window})")
         self.window = window
         self._snaps: Deque[StatsSnapshot] = deque(maxlen=window)
+        self._cache: Optional[WindowAggregates] = None
 
     def push(self, snap: StatsSnapshot) -> None:
         """Append one interval snapshot (empty ones age the window)."""
         self._snaps.append(snap)
+        self._cache = None
 
     def _filled(self) -> List[StatsSnapshot]:
         return [s for s in self._snaps if s.count > 0]
 
+    def _aggregates(self) -> WindowAggregates:
+        cache = self._cache
+        if cache is None:
+            cache = self._cache = self._compute()
+        return cache
+
+    def _compute(self) -> WindowAggregates:
+        snaps = self._snaps
+        filled = [s for s in snaps if s.count > 0]
+        total = sum(s.count for s in snaps)
+        if filled:
+            mean = sum(s.mean for s in filled) / len(filled)
+        else:
+            mean = 0.0
+        if total == 0:
+            weighted_mean = 0.0
+        else:
+            weighted_mean = sum(s.mean * s.count for s in snaps) / total
+        if total < 2:
+            variance = 0.0
+        else:
+            ssq = 0.0
+            for s in filled:
+                ssq += s.variance * max(0, s.count - 1)
+                ssq += s.count * (s.mean - weighted_mean) ** 2
+            variance = ssq / (total - 1)
+        if weighted_mean == 0.0:
+            cv = 0.0
+        else:
+            cv = math.sqrt(variance) / weighted_mean
+        return WindowAggregates(bool(filled), total, mean, weighted_mean, variance, cv)
+
     @property
     def has_data(self) -> bool:
         """Whether any non-empty snapshot is in the window."""
-        return any(s.count > 0 for s in self._snaps)
+        return self._aggregates().has_data
 
     @property
     def count(self) -> int:
         """Total number of samples pooled in the window."""
-        return sum(s.count for s in self._snaps)
+        return self._aggregates().count
 
     @property
     def mean(self) -> float:
         """Unweighted mean of the non-empty interval means (paper Eq. 2)."""
-        filled = self._filled()
-        if not filled:
-            return 0.0
-        return sum(s.mean for s in filled) / len(filled)
+        return self._aggregates().mean
 
     @property
     def weighted_mean(self) -> float:
         """Sample-count-weighted mean across the window."""
-        total = self.count
-        if total == 0:
-            return 0.0
-        return sum(s.mean * s.count for s in self._snaps) / total
+        return self._aggregates().weighted_mean
 
     @property
     def variance(self) -> float:
         """Pooled variance across the window's snapshots."""
-        total = self.count
-        if total < 2:
-            return 0.0
-        grand = self.weighted_mean
-        ssq = 0.0
-        for s in self._filled():
-            ssq += s.variance * max(0, s.count - 1)
-            ssq += s.count * (s.mean - grand) ** 2
-        return ssq / (total - 1)
+        return self._aggregates().variance
 
     @property
     def cv(self) -> float:
         """Pooled coefficient of variation across the window."""
-        mean = self.weighted_mean
-        if mean == 0.0:
-            return 0.0
-        return math.sqrt(self.variance) / mean
+        return self._aggregates().cv
 
     def clear(self) -> None:
         """Drop all snapshots."""
         self._snaps.clear()
+        self._cache = None
 
 
 class ReservoirSampler:

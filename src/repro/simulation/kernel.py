@@ -1,19 +1,46 @@
 """The discrete-event simulation kernel.
 
 The :class:`Simulator` maintains a virtual clock and a binary heap of
-pending :class:`~repro.simulation.events.Event` objects. Components of the
-simulated stream processing engine (tasks, channels, the elastic scaler,
-workload sources, ...) schedule callbacks on the shared simulator; the
-kernel fires them in non-decreasing time order.
+pending events. Components of the simulated stream processing engine
+(tasks, channels, the elastic scaler, workload sources, ...) schedule
+callbacks on the shared simulator; the kernel fires them in
+non-decreasing time order.
 
 The kernel is single-threaded and deterministic: events scheduled for the
 same instant fire in the order they were scheduled.
+
+Fast path
+---------
+Heap entries are plain tuples keyed by ``(time, seq)``, so heap sifting
+compares tuple prefixes in C instead of calling ``Event.__lt__`` per
+comparison. Two entry shapes share the heap (``seq`` is unique per
+simulator, so comparisons never reach the third element):
+
+``(time, seq, callback, args)``
+    The *fire-and-forget* path (:meth:`Simulator.schedule_fire`): no
+    :class:`~repro.simulation.events.Event` handle is allocated and the
+    event cannot be cancelled. The engine's per-record hot path (service
+    completions, channel arrivals, source ticks) uses this shape — those
+    callbacks already guard against stopped/closed receivers, which is
+    what cancellation was for.
+
+``(time, seq, event)``
+    The cancellable path (:meth:`Simulator.schedule`). Events whose
+    ``pooled`` flag is set are recycled into a free list after firing
+    (with a ``generation`` bump so stale handles can detect the reuse);
+    the kernel only pools events whose handles it controls —
+    :class:`PeriodicProcess` firings and :class:`BatchSchedule` steps.
+
+Batched arrivals (:meth:`Simulator.schedule_batch`) walk a precomputed
+time sequence with one recycled pooled event instead of allocating one
+event per record; each step still fires at its own time with a fresh
+``seq``, preserving the ``(time, seq)`` total order.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Sequence
 
 from repro.simulation.events import Event
 
@@ -39,12 +66,15 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        # entries: (time, seq, callback, args) fire-and-forget
+        #       or (time, seq, Event)          cancellable
+        self._heap: List[tuple] = []
         self._seq = 0
         self._now = 0.0
         self._running = False
         self._fired_events = 0
         self._max_heap = 0
+        self._pool: List[Event] = []
 
     @property
     def now(self) -> float:
@@ -66,6 +96,15 @@ class Simulator:
         """High-water mark of the event heap over the run so far."""
         return self._max_heap
 
+    @property
+    def pooled_events(self) -> int:
+        """Size of the event free list (introspection for tests/bench)."""
+        return len(self._pool)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now.
 
@@ -82,12 +121,80 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
-        event = Event(time, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
-        if len(self._heap) > self._max_heap:
-            self._max_heap = len(self._heap)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, args)
+        heap = self._heap
+        heapq.heappush(heap, (time, seq, event))
+        if len(heap) > self._max_heap:
+            self._max_heap = len(heap)
         return event
+
+    def schedule_fire(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget: like :meth:`schedule` but returns no handle.
+
+        The scheduled callback cannot be cancelled; callbacks that may
+        outlive their component must guard internally (the engine's hot
+        path callbacks all check task/channel state first). Skipping the
+        handle keeps the per-record path allocation-free apart from the
+        heap tuple itself.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        heap = self._heap
+        heapq.heappush(heap, (time, seq, callback, args))
+        if len(heap) > self._max_heap:
+            self._max_heap = len(heap)
+
+    def schedule_fire_at(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Absolute-time variant of :meth:`schedule_fire`."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heap = self._heap
+        heapq.heappush(heap, (time, seq, callback, args))
+        if len(heap) > self._max_heap:
+            self._max_heap = len(heap)
+
+    def _schedule_pooled_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Internal: cancellable scheduling with a pool-recycled event.
+
+        Owner contract: after the event fires or is cancelled, the caller
+        must drop (or generation-check) its handle — the kernel reuses
+        the object for later schedulings.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            event.generation += 1
+        else:
+            event = Event(time, seq, callback, args, pooled=True)
+        heap = self._heap
+        heapq.heappush(heap, (time, seq, event))
+        if len(heap) > self._max_heap:
+            self._max_heap = len(heap)
+        return event
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run the simulation.
@@ -104,41 +211,110 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
-        fired = 0
         try:
-            while self._heap:
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(self._heap)
-                self._now = event.time
-                self._fired_events += 1
-                fired += 1
-                event.callback(*event.args)
-                if max_events is not None and fired >= max_events:
-                    break
-            if until is not None and self._now < until:
-                self._now = until
+            if until is None and max_events is None:
+                self._run_unbounded()
+            else:
+                self._run_bounded(until, max_events)
         finally:
             self._running = False
+
+    def _run_unbounded(self) -> None:
+        # The hot loop: locals for everything touched per event, and the
+        # (time, seq, callback, args) shape handled without indirection.
+        heap = self._heap
+        pop = heapq.heappop
+        pool = self._pool
+        while heap:
+            entry = pop(heap)
+            if len(entry) == 4:
+                self._now = entry[0]
+                self._fired_events += 1
+                entry[2](*entry[3])
+                continue
+            event = entry[2]
+            if event.cancelled:
+                if event.pooled:
+                    self._recycle(pool, event)
+                continue
+            self._now = entry[0]
+            self._fired_events += 1
+            event.callback(*event.args)
+            if event.pooled:
+                self._recycle(pool, event)
+
+    def _run_bounded(self, until: Optional[float], max_events: Optional[int]) -> None:
+        heap = self._heap
+        pop = heapq.heappop
+        pool = self._pool
+        fired = 0
+        while heap:
+            entry = heap[0]
+            if len(entry) == 3:
+                event = entry[2]
+                if event.cancelled:
+                    pop(heap)
+                    if event.pooled:
+                        self._recycle(pool, event)
+                    continue
+            else:
+                event = None
+            if until is not None and entry[0] > until:
+                break
+            pop(heap)
+            self._now = entry[0]
+            self._fired_events += 1
+            fired += 1
+            if event is None:
+                entry[2](*entry[3])
+            else:
+                event.callback(*event.args)
+                if event.pooled:
+                    self._recycle(pool, event)
+            if max_events is not None and fired >= max_events:
+                break
+        if until is not None and self._now < until:
+            self._now = until
+
+    @staticmethod
+    def _recycle(pool: List[Event], event: Event) -> None:
+        # Break reference cycles / drop payloads before pooling; the
+        # generation is bumped at *reuse* so a just-fired handle still
+        # reports the generation its owner saw.
+        event.callback = None
+        event.args = ()
+        pool.append(event)
 
     def step(self) -> bool:
         """Fire exactly the next pending event.
 
         Returns ``True`` if an event fired, ``False`` if the heap is empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        pool = self._pool
+        while heap:
+            entry = heapq.heappop(heap)
+            if len(entry) == 4:
+                self._now = entry[0]
+                self._fired_events += 1
+                entry[2](*entry[3])
+                return True
+            event = entry[2]
             if event.cancelled:
+                if event.pooled:
+                    self._recycle(pool, event)
                 continue
-            self._now = event.time
+            self._now = entry[0]
             self._fired_events += 1
             event.callback(*event.args)
+            if event.pooled:
+                self._recycle(pool, event)
             return True
         return False
+
+    # ------------------------------------------------------------------
+    # recurrences
+    # ------------------------------------------------------------------
 
     def every(
         self,
@@ -158,6 +334,30 @@ class Simulator:
         first = interval if start_delay is None else start_delay
         return PeriodicProcess(self, interval, callback, args, first)
 
+    def schedule_batch(
+        self,
+        times: Sequence[float],
+        callback: Callable[..., Any],
+        *args: Any,
+    ) -> "BatchSchedule":
+        """Fire ``callback(*args)`` once at each absolute time in ``times``.
+
+        The batched-arrival mode: where a distribution allows precomputing
+        the next *k* firing times (deterministic rates, pre-drawn RNG
+        intervals, trace replay), one :class:`BatchSchedule` walks the
+        sequence with a single recycled pool event instead of ``k``
+        individually allocated events. Firing times and the
+        ``(time, seq)`` order among simultaneous events are exactly what
+        ``k`` successive ``schedule_at`` calls (each made when the
+        previous firing completes) would produce.
+
+        ``times`` must be non-decreasing and must not start in the past;
+        a violation raises :class:`SimulationError` when the offending
+        step is scheduled. Returns a handle whose :meth:`BatchSchedule
+        .stop` cancels the remaining firings.
+        """
+        return BatchSchedule(self, times, callback, args)
+
 
 class PeriodicProcess:
     """Handle for a recurring callback created by :meth:`Simulator.every`."""
@@ -175,23 +375,94 @@ class PeriodicProcess:
         self._callback = callback
         self._args = args
         self._stopped = False
-        self._event: Optional[Event] = sim.schedule(first_delay, self._fire)
+        event = sim._schedule_pooled_at(sim.now + first_delay, self._fire)
+        self._event: Optional[Event] = event
+        self._generation = event.generation
 
     def _fire(self) -> None:
         if self._stopped:
             return
         self._callback(*self._args)
         if not self._stopped:
-            self._event = self._sim.schedule(self.interval, self._fire)
+            event = self._sim._schedule_pooled_at(self._sim.now + self.interval, self._fire)
+            self._event = event
+            self._generation = event.generation
 
     def stop(self) -> None:
         """Stop the recurrence; a pending firing is cancelled."""
         self._stopped = True
-        if self._event is not None:
-            self._event.cancel()
-            self._event = None
+        event = self._event
+        if event is not None and event.generation == self._generation:
+            event.cancel()
+        self._event = None
 
     @property
     def stopped(self) -> bool:
         """Whether :meth:`stop` has been called."""
         return self._stopped
+
+
+class BatchSchedule:
+    """Handle for a precomputed firing sequence (batched-arrival mode)."""
+
+    __slots__ = ("_sim", "_times", "_index", "_callback", "_args", "_stopped",
+                 "_event", "_generation")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        times: Sequence[float],
+        callback: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self._sim = sim
+        self._times = times
+        self._index = 0
+        self._callback = callback
+        self._args = args
+        self._stopped = False
+        self._event: Optional[Event] = None
+        self._generation = 0
+        if len(times) > 0:
+            self._push(times[0])
+        else:
+            self._stopped = True
+
+    def _push(self, time: float) -> None:
+        event = self._sim._schedule_pooled_at(time, self._fire)
+        self._event = event
+        self._generation = event.generation
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback(*self._args)
+        self._index += 1
+        if self._stopped:
+            return
+        times = self._times
+        if self._index < len(times):
+            self._push(times[self._index])
+        else:
+            self._stopped = True
+            self._event = None
+
+    def stop(self) -> None:
+        """Cancel the remaining firings (the pending one included)."""
+        self._stopped = True
+        event = self._event
+        if event is not None and event.generation == self._generation:
+            event.cancel()
+        self._event = None
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the walk finished or was stopped."""
+        return self._stopped
+
+    @property
+    def remaining(self) -> int:
+        """Firings still pending (0 once stopped or exhausted)."""
+        if self._stopped:
+            return 0
+        return len(self._times) - self._index

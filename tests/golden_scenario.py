@@ -1,0 +1,68 @@
+"""The pinned scenario behind the byte-identity regression test.
+
+``tests/golden/`` holds the ``export_run`` artifacts (manifest, scaler
+decision trace, metrics) of this scenario as produced *before* the
+simulation fast path landed. ``tests/test_determinism.py`` replays the
+scenario on every run and diffs the export byte-for-byte against the
+golden copies: any optimization that changes event order, RNG
+consumption or float arithmetic on the obs-off/actuation-off hot path
+shows up as a diff.
+
+Regenerating the goldens (only when a PR *intentionally* changes
+behavior — say so in the PR description)::
+
+    PYTHONPATH=src python tests/golden_scenario.py --write
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
+
+#: the export files pinned by the golden copies
+GOLDEN_FILES = ("manifest.json", "trace.jsonl", "metrics.jsonl")
+
+#: bump alongside intentional behavior changes so stale goldens fail loudly
+SCENARIO_SEED = 2024
+SCENARIO_DURATION = 60.0
+
+
+def run_scenario(export_dir: str):
+    """Run the pinned elastic scenario and export into ``export_dir``."""
+    from repro.builder import PipelineBuilder
+    from repro.engine.engine import EngineConfig, StreamProcessingEngine
+    from repro.simulation.randomness import Gamma
+    from repro.workloads.rates import ConstantRate, PiecewiseRate
+
+    pipeline = (
+        PipelineBuilder("golden")
+        .source(
+            lambda now, rng: rng.random(),
+            rate=PiecewiseRate([(0.0, 200.0), (20.0, 500.0), (40.0, 250.0)]),
+        )
+        .map("worker", lambda x: x * x, service=Gamma(0.004, 0.7), parallelism=(4, 1, 32))
+        .sink()
+        .constrain(bound=0.030, name="e2e")
+        .observe(export_dir=export_dir, pin_wall_time=True)
+        .build()
+    )
+    engine = StreamProcessingEngine(EngineConfig(elastic=True, seed=SCENARIO_SEED))
+    engine.submit(pipeline)
+    engine.run(SCENARIO_DURATION)
+    return engine.export_run()
+
+
+def main(argv) -> int:
+    if "--write" not in argv:
+        print(__doc__)
+        return 2
+    paths = run_scenario(GOLDEN_DIR)
+    for kind, path in sorted(paths.items()):
+        print(f"wrote {kind}: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

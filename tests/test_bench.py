@@ -1,0 +1,174 @@
+"""Tests for the benchmark harness behind ``python -m repro bench``.
+
+The real benchmark sizes would make the test suite crawl, so these tests
+run the harness at toy event counts and exercise the payload schema, the
+round-trip through ``write_results``/``load_results``, and the
+machine-independent regression check logic with synthetic payloads.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+import repro.bench.core as bench
+from repro.bench.legacy import LegacySimulator
+from repro.simulation.kernel import Simulator
+
+
+@pytest.fixture
+def tiny_results(monkeypatch):
+    """One harness run at toy sizes (shared per test via function scope)."""
+    monkeypatch.setattr(bench, "QUICK_EVENTS", 800)
+    monkeypatch.setattr(bench, "QUICK_REPEATS", 1)
+    return bench.run_benchmarks(quick=True, macro=False)
+
+
+class TestLegacyKernel:
+    def test_legacy_and_live_fire_identically(self):
+        """The frozen baseline kernel behaves exactly like the live one."""
+        def drive(sim):
+            fired = []
+            sim.schedule(2.0, fired.append, "late")
+            sim.schedule(1.0, fired.append, "early")
+            handle = sim.schedule(1.5, fired.append, "cancelled")
+            handle.cancel()
+            sim.schedule(1.0, fired.append, "tie")
+            sim.run()
+            return fired, sim.now, sim.fired_events
+
+        assert drive(LegacySimulator()) == drive(Simulator())
+
+    def test_chain_workload_fires_requested_events(self):
+        sim = Simulator()
+        fired = bench._chain_workload(sim, sim.schedule_fire, 800)
+        assert fired == 800
+
+
+class TestRunBenchmarks:
+    def test_payload_schema(self, tiny_results):
+        assert tiny_results["schema"] == bench.BENCH_SCHEMA_VERSION
+        assert tiny_results["kind"] == "BENCH_core"
+        assert tiny_results["quick"] is True
+        benchmarks = tiny_results["benchmarks"]
+        for name in ("kernel", "kernel_handles", "kernel_batch"):
+            entry = benchmarks[name]
+            assert entry["events_per_sec"] > 0
+            assert entry["baseline_events_per_sec"] > 0
+            assert entry["speedup"] > 0
+        assert "macro_twitter" not in benchmarks  # macro=False
+
+    def test_payload_is_json_serializable(self, tiny_results):
+        json.dumps(tiny_results)
+
+    def test_write_and_load_roundtrip(self, tiny_results, tmp_path):
+        path = str(tmp_path / "bench.json")
+        assert bench.write_results(tiny_results, path) == path
+        loaded = bench.load_results(path)
+        assert loaded == json.loads(json.dumps(tiny_results))
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 999}))
+        with pytest.raises(ValueError):
+            bench.load_results(str(path))
+
+
+def _synthetic(quick: bool, speedups: dict) -> dict:
+    return {
+        "schema": bench.BENCH_SCHEMA_VERSION,
+        "quick": quick,
+        "benchmarks": {
+            name: {
+                "baseline_events_per_sec": 100.0,
+                "events_per_sec": 100.0 * s,
+                "speedup": s,
+            }
+            for name, s in speedups.items()
+        },
+    }
+
+
+class TestCheckRegression:
+    def test_identical_payloads_pass(self):
+        committed = _synthetic(False, {"kernel": 3.0, "kernel_batch": 5.0})
+        assert bench.check_regression(copy.deepcopy(committed), committed) == []
+
+    def test_small_slowdown_within_tolerance_passes(self):
+        committed = _synthetic(False, {"kernel": 3.0})
+        fresh = _synthetic(False, {"kernel": 3.0 * 0.75})
+        assert bench.check_regression(fresh, committed) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        committed = _synthetic(False, {"kernel": 3.0})
+        fresh = _synthetic(False, {"kernel": 3.0 * 0.5})
+        failures = bench.check_regression(fresh, committed)
+        assert len(failures) == 1
+        assert "kernel" in failures[0]
+
+    def test_missing_benchmark_fails(self):
+        committed = _synthetic(False, {"kernel": 3.0, "kernel_batch": 5.0})
+        fresh = _synthetic(False, {"kernel": 3.0})
+        failures = bench.check_regression(fresh, committed)
+        assert any("kernel_batch" in f for f in failures)
+
+    def test_cross_mode_comparison_widens_tolerance(self):
+        """quick-vs-full squares the tolerance (0.7 -> 0.49)."""
+        committed = _synthetic(False, {"kernel": 3.0})
+        fresh = _synthetic(True, {"kernel": 3.0 * 0.55})
+        # 0.55 would fail same-mode (floor 0.7) but passes cross-mode (0.49).
+        assert bench.check_regression(fresh, committed) == []
+        assert bench.check_regression(
+            _synthetic(False, {"kernel": 3.0 * 0.55}), committed
+        ) != []
+
+    def test_macro_numbers_never_gate(self):
+        committed = _synthetic(False, {"kernel": 3.0})
+        committed["benchmarks"]["macro_twitter"] = {
+            "events_per_sec": 100000.0,
+            "fired_events": 1,
+            "wall_time_s": 1.0,
+            "virtual_time_s": 1.0,
+        }
+        fresh = _synthetic(False, {"kernel": 3.0})
+        fresh["benchmarks"]["macro_twitter"] = {
+            "events_per_sec": 1.0,  # catastrophically slower, still no gate
+            "fired_events": 1,
+            "wall_time_s": 1.0,
+            "virtual_time_s": 1.0,
+        }
+        assert bench.check_regression(fresh, committed) == []
+
+
+class TestMain:
+    def test_main_writes_and_checks(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setattr(bench, "QUICK_EVENTS", 800)
+        monkeypatch.setattr(bench, "QUICK_REPEATS", 1)
+        out = str(tmp_path / "BENCH_core.json")
+        assert bench.main(["--quick", "--no-macro", "--out", out]) == 0
+        assert bench.load_results(out)["quick"] is True
+        # Self-check against the file just written always passes.
+        out2 = str(tmp_path / "BENCH_core2.json")
+        assert (
+            bench.main(["--quick", "--no-macro", "--out", out2, "--check", out]) == 0
+        )
+        captured = capsys.readouterr()
+        assert "regression check OK" in captured.out
+
+    def test_main_fails_on_regression(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setattr(bench, "QUICK_EVENTS", 800)
+        monkeypatch.setattr(bench, "QUICK_REPEATS", 1)
+        baseline = _synthetic(True, {"kernel": 10_000.0})  # unattainable
+        path = str(tmp_path / "baseline.json")
+        bench.write_results(baseline, path)
+        out = str(tmp_path / "fresh.json")
+        assert bench.main(["--quick", "--no-macro", "--out", out, "--check", path]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION CHECK FAILED" in captured.err
+
+    def test_format_results_mentions_every_benchmark(self, tiny_results):
+        text = bench.format_results(tiny_results)
+        for name in tiny_results["benchmarks"]:
+            assert name in text

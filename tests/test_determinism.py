@@ -1,0 +1,89 @@
+"""Byte-identity regression test for the simulation fast path.
+
+Replays the pinned golden scenario (``tests/golden_scenario.py``) and
+diffs its ``export_run`` artifacts byte-for-byte against the committed
+copies in ``tests/golden/``, which were produced before the fast-path
+optimizations landed. Any change to event ordering, RNG consumption or
+float arithmetic on the obs-off/actuation-off hot path shows up here as
+a diff — intentional behavior changes must regenerate the goldens via
+``PYTHONPATH=src python tests/golden_scenario.py --write`` and say so in
+the PR description.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from golden_scenario import GOLDEN_DIR, GOLDEN_FILES, run_scenario
+
+
+def _read_bytes(path: str) -> bytes:
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def _first_diff_line(golden: bytes, fresh: bytes) -> str:
+    golden_lines = golden.splitlines()
+    fresh_lines = fresh.splitlines()
+    for index, (g, f) in enumerate(zip(golden_lines, fresh_lines)):
+        if g != f:
+            return (
+                f"first diff at line {index + 1}:\n"
+                f"  golden: {g[:200]!r}\n"
+                f"  fresh:  {f[:200]!r}"
+            )
+    return (
+        f"line counts differ: golden={len(golden_lines)} fresh={len(fresh_lines)}"
+    )
+
+
+@pytest.fixture(scope="module")
+def fresh_export(tmp_path_factory):
+    """One replay of the golden scenario, shared by the module's tests."""
+    export_dir = str(tmp_path_factory.mktemp("golden_replay"))
+    run_scenario(export_dir)
+    return export_dir
+
+
+class TestGoldenByteIdentity:
+    def test_golden_files_exist(self):
+        for name in GOLDEN_FILES:
+            assert os.path.isfile(os.path.join(GOLDEN_DIR, name)), (
+                f"missing golden file {name}; regenerate with "
+                f"PYTHONPATH=src python tests/golden_scenario.py --write"
+            )
+
+    @pytest.mark.parametrize("name", GOLDEN_FILES)
+    def test_replay_is_byte_identical(self, fresh_export, name):
+        golden = _read_bytes(os.path.join(GOLDEN_DIR, name))
+        fresh = _read_bytes(os.path.join(fresh_export, name))
+        assert fresh == golden, (
+            f"{name} diverged from the golden copy "
+            f"({_first_diff_line(golden, fresh)})"
+        )
+
+    def test_manifest_is_valid_json(self, fresh_export):
+        with open(os.path.join(fresh_export, "manifest.json")) as handle:
+            manifest = json.load(handle)
+        assert manifest  # non-empty
+
+    def test_trace_lines_are_valid_json(self, fresh_export):
+        with open(os.path.join(fresh_export, "trace.jsonl")) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert lines, "golden scenario produced no scaler trace"
+        for line in lines:
+            json.loads(line)
+
+
+class TestDoubleRunIdentity:
+    def test_two_replays_are_byte_identical(self, fresh_export, tmp_path):
+        """Same-seed determinism: two in-process runs export identical bytes."""
+        second = str(tmp_path / "second")
+        run_scenario(second)
+        for name in GOLDEN_FILES:
+            a = _read_bytes(os.path.join(fresh_export, name))
+            b = _read_bytes(os.path.join(second, name))
+            assert a == b, f"{name} differs between two same-seed runs"
