@@ -23,6 +23,18 @@ longer applies its decisions directly — it hands each one to the
   and exposes the convergence lag (total desired-minus-actual
   parallelism distance) as a gauge.
 
+Request lifecycle invariants:
+
+* at most one live request per vertex — issuing a new request for a
+  vertex marks any replaced in-flight request ``superseded``, so stale
+  ``_complete`` / ``_retry`` callbacks still on the heap can never apply
+  an outdated target over the newer one;
+* a *partial* application (``ScalingResult.partial``, e.g. a scale-down
+  limited by still-pending additions) does not count as convergence:
+  the vertex's desired state is kept, ``convergence_lag()`` keeps
+  reporting the distance, and the remainder is re-issued on the next
+  adjustment tick.
+
 Every lifecycle step is appended to :attr:`ReconciliationController.log`
 (plain tuples, byte-comparable across same-seed runs) and, when tracing
 is on, emitted as schema-v2 :class:`~repro.obs.trace.TraceRecord` rows
@@ -74,7 +86,8 @@ class ActuationRequest:
         self.attempt = 1
         self.issued_at = issued_at
         self.round = round
-        #: set when the watchdog replaced this request — completion no-ops
+        #: set when a newer request (scaler re-request or watchdog
+        #: escalation) replaced this one — completion/retry no-op
         self.superseded = False
         self.escalated = escalated
 
@@ -126,6 +139,11 @@ class ReconciliationController:
         self.escalations = 0
         self.suppressed_hysteresis = 0
         self.clamped_steps = 0
+        self.superseded_requests = 0
+        self.partials = 0
+        #: vertices whose last success applied less than desired; the
+        #: remainder is re-issued on the next adjustment tick
+        self._partial_pending: set = set()
         #: consecutive adjustment intervals with a violated constraint
         #: while reconciliation lagged (watchdog trigger state)
         self._lagging_intervals = 0
@@ -224,6 +242,7 @@ class ReconciliationController:
         step = clamped - current
         if step == 0:
             self.desired.pop(vertex, None)
+            self._partial_pending.discard(vertex)
             return 0
         if self.config.hysteresis > 0 and abs(step) <= self.config.hysteresis:
             self.suppressed_hysteresis += 1
@@ -256,6 +275,19 @@ class ReconciliationController:
         req = ActuationRequest(
             vertex, target, current, self.sim.now, round=round, escalated=escalated
         )
+        # A replaced in-flight request must be marked superseded before
+        # the overwrite: its _complete/_retry callbacks are still on the
+        # heap and would otherwise apply an outdated target over this
+        # newer one later.
+        previous = self.in_flight.get(vertex)
+        if previous is not None and not previous.superseded:
+            previous.superseded = True
+            self.superseded_requests += 1
+            self._count("superseded")
+            self._record(
+                "superseded", vertex, previous.attempt,
+                f"replaced by {current}->{target}",
+            )
         self.desired[vertex] = target
         self.in_flight[vertex] = req
         self.requests += 1
@@ -297,17 +329,34 @@ class ReconciliationController:
             except InsufficientResourcesError:
                 failure = "insufficient cluster resources"
             else:
-                self._succeed(req, result.applied)
+                self._succeed(req, result)
                 return
         self._fail(req, failure)
 
-    def _succeed(self, req: ActuationRequest, applied: int) -> None:
+    def _succeed(self, req: ActuationRequest, result) -> None:
         self.in_flight.pop(req.vertex, None)
-        self.desired.pop(req.vertex, None)
         self.applied += 1
         self._count("applied")
         self._gauge("in_flight", len(self.in_flight))
-        self._record("applied", req.vertex, req.attempt, f"delta={applied:+d}")
+        self._record("applied", req.vertex, req.attempt, f"delta={result.applied:+d}")
+        desired = self.desired.get(req.vertex)
+        actual = self.runtime.vertex(req.vertex).target_parallelism
+        if result.partial and desired is not None and actual != desired:
+            # Partial application (e.g. scale-down limited by pending
+            # additions / min_parallelism): convergence is NOT reached.
+            # Keep the desired state so convergence_lag() stays honest
+            # and re-issue for the remainder on the next adjustment tick.
+            self.partials += 1
+            self._count("partials")
+            self._partial_pending.add(req.vertex)
+            self._record(
+                "partial", req.vertex, req.attempt,
+                f"applied={result.applied:+d} of {result.requested:+d}, "
+                f"actual={actual}, desired={desired}",
+            )
+            return
+        self.desired.pop(req.vertex, None)
+        self._partial_pending.discard(req.vertex)
 
     def _fail(self, req: ActuationRequest, reason: str) -> None:
         self.failures += 1
@@ -348,6 +397,31 @@ class ReconciliationController:
     # watchdog (driven from the adjustment tick)
     # ------------------------------------------------------------------
 
+    def _reissue_partials(self) -> None:
+        """Re-issue the remainder of partially applied requests.
+
+        Runs once per adjustment tick. A vertex whose last success
+        applied less than desired (and that has no newer in-flight
+        request) gets a fresh request towards the still-recorded desired
+        target — by now previously pending additions may have become
+        drainable, so the remainder can complete.
+        """
+        for vertex in sorted(self._partial_pending):
+            if vertex in self.in_flight:
+                continue
+            desired = self.desired.get(vertex)
+            if desired is None:
+                self._partial_pending.discard(vertex)
+                continue
+            current = self.runtime.vertex(vertex).target_parallelism
+            if desired == current:
+                self.desired.pop(vertex, None)
+                self._partial_pending.discard(vertex)
+                continue
+            self._partial_pending.discard(vertex)
+            self._record("re-issue", vertex, 0, f"partial remainder {current}->{desired}")
+            self._issue(vertex, desired, current, round=0)
+
     def convergence_lag(self) -> int:
         """Total |desired − actual target| parallelism across vertices."""
         lag = 0
@@ -366,6 +440,7 @@ class ReconciliationController:
         bottleneck-style doubling orders, bypassing hysteresis and
         ``max_step``.
         """
+        self._reissue_partials()
         lag = self.convergence_lag()
         self._gauge("convergence_lag", lag)
         if violated and lag > 0:
@@ -426,6 +501,8 @@ class ReconciliationController:
             "escalations": self.escalations,
             "suppressed_hysteresis": self.suppressed_hysteresis,
             "clamped_steps": self.clamped_steps,
+            "superseded": self.superseded_requests,
+            "partials": self.partials,
             "in_flight": len(self.in_flight),
             "convergence_lag": self.convergence_lag(),
             "config": self.config.describe(),

@@ -12,6 +12,11 @@ Commands
     Run a deterministic fault-injection scenario against an elastic
     pipeline (task crash, worker loss, measurement dropout, service
     spike) and report how the scaler degraded gracefully.
+``sweep``
+    Expand a declarative grid (seeds × rates × bounds × workloads ×
+    actuation) into shards and run them across a crash-isolated worker
+    process pool with checkpointed resume (``--resume``) and a
+    deterministic byte-identical merged aggregate.
 ``trace generate`` / ``trace info``
     Synthesize or inspect rate traces (the stand-in for the paper's
     two-week Twitter replay).
@@ -91,6 +96,35 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--pin-wall-time", action="store_true",
                        help="write wall_time_s=0.0 into the exported manifest so "
                             "same-seed runs diff byte-for-byte")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a seed/workload/knob grid across worker processes"
+    )
+    sweep.add_argument("--grid", metavar="FILE", default=None,
+                       help="JSON grid file (see repro.sweep.SweepGrid)")
+    sweep.add_argument("--quick", action="store_true",
+                       help="the built-in 8-shard CI smoke grid")
+    sweep.add_argument("--seeds", metavar="CSV", default=None,
+                       help="comma-separated engine seeds (overrides the grid)")
+    sweep.add_argument("--rates", metavar="CSV", default=None,
+                       help="comma-separated source rates (items/s)")
+    sweep.add_argument("--bounds", metavar="CSV", default=None,
+                       help="comma-separated latency bounds (s)")
+    sweep.add_argument("--workloads", metavar="CSV", default=None,
+                       help="comma-separated workload variants "
+                            "(steady, spike, dropout)")
+    sweep.add_argument("--actuation", choices=("off", "on", "both"), default=None,
+                       help="supervised-actuation axis (default: grid/off)")
+    sweep.add_argument("--duration", type=float, default=None,
+                       help="virtual seconds per shard")
+    sweep.add_argument("--workers", type=int, default=2,
+                       help="concurrent worker processes (1 = serial)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip shards with a valid checkpoint in --out")
+    sweep.add_argument("--retries", type=int, default=2,
+                       help="per-shard retries after a worker crash")
+    sweep.add_argument("--out", metavar="DIR", default="sweep-out",
+                       help="checkpoint/aggregate directory")
 
     trace = sub.add_parser("trace", help="rate traces and scaler decision traces")
     trace.add_argument("--check", action="store_true",
@@ -280,6 +314,71 @@ def _trace_show(directory: str, last: int) -> int:
     return 0
 
 
+def _csv_list(text: str, convert) -> list:
+    return [convert(part.strip()) for part in text.split(",") if part.strip()]
+
+
+def _build_sweep_grid(args: argparse.Namespace):
+    from repro.sweep import SweepGrid
+
+    if args.grid is not None and args.quick:
+        raise SystemExit("pass either --grid FILE or --quick, not both")
+    if args.grid is not None:
+        grid = SweepGrid.from_file(args.grid)
+    elif args.quick:
+        grid = SweepGrid.quick()
+    else:
+        grid = SweepGrid()
+    overrides = {}
+    if args.seeds is not None:
+        overrides["seeds"] = _csv_list(args.seeds, int)
+    if args.rates is not None:
+        overrides["rates"] = _csv_list(args.rates, float)
+    if args.bounds is not None:
+        overrides["bounds"] = _csv_list(args.bounds, float)
+    if args.workloads is not None:
+        overrides["workloads"] = _csv_list(args.workloads, str)
+    if args.actuation is not None:
+        overrides["actuation"] = {
+            "off": [False], "on": [True], "both": [False, True],
+        }[args.actuation]
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    if overrides:
+        base = grid.describe()
+        base.pop("shards", None)
+        base.update(overrides)
+        grid = SweepGrid.from_dict(base)
+    return grid
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.dashboard import SweepDashboard
+    from repro.sweep import SweepError, run_sweep
+
+    grid = _build_sweep_grid(args)
+    print(f"sweep {grid.name!r}: {len(grid)} shards, "
+          f"{args.workers} workers, out={args.out}"
+          + (" (resume)" if args.resume else ""))
+    try:
+        result = run_sweep(
+            grid, args.out,
+            workers=args.workers,
+            resume=args.resume,
+            max_retries=args.retries,
+            progress=lambda message: print(f"  {message}"),
+        )
+    except SweepError as exc:
+        print(f"sweep failed to run: {exc}")
+        return 2
+    print()
+    print(SweepDashboard(result.aggregate).render())
+    print()
+    print(result.stats.describe())
+    print(f"aggregate: {result.aggregate_path}")
+    return 1 if result.stats.failed else 0
+
+
 def _run_chaos(args: argparse.Namespace) -> None:
     from repro.builder import PipelineBuilder
     from repro.engine.engine import EngineConfig, StreamProcessingEngine
@@ -424,6 +523,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "chaos":
         _run_chaos(args)
         return 0
+    if args.command == "sweep":
+        return _run_sweep(args)
     if args.command == "trace":
         if args.check:
             return _trace_check(args.obs_dir)

@@ -47,6 +47,16 @@ class ScalingResult(NamedTuple):
         """Whether the action fell short of the requested change."""
         return self.applied != self.requested
 
+    @property
+    def partial(self) -> bool:
+        """Whether only part of the requested change was initiated.
+
+        The reconciler treats a partial application as unfinished work:
+        the vertex's desired parallelism is kept and the remainder is
+        re-issued on the next adjustment tick.
+        """
+        return self.applied != self.requested
+
 
 class Scheduler:
     """Places tasks in worker slots and executes scaling actions."""

@@ -198,3 +198,30 @@ class SeriesRecorder:
     def fault_series(self) -> List[Tuple[float, str, str, str]]:
         """All recorded fault events, flattened across rows."""
         return [record for r in self.rows for record in r.faults]
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-serializable run digest (deterministic; no wall clock).
+
+        The per-shard quantity a sweep checkpoints and merges: interval
+        count, mean CPU utilization, peak effective rate, final
+        cumulative task-seconds, per-feed overall mean / worst-p95
+        latency and the number of fault events observed.
+        """
+        feeds: Dict[str, Dict[str, Optional[float]]] = {}
+        for feed in sorted({name for r in self.rows for name in r.latency_mean}):
+            means = [r.latency_mean[feed] for r in self.rows
+                     if r.latency_mean.get(feed) is not None]
+            p95s = [r.latency_p95[feed] for r in self.rows
+                    if r.latency_p95.get(feed) is not None]
+            feeds[feed] = {
+                "mean_latency": sum(means) / len(means) if means else None,
+                "max_p95_latency": max(p95s) if p95s else None,
+            }
+        return {
+            "intervals": len(self.rows),
+            "mean_cpu_utilization": self.mean_cpu_utilization(),
+            "peak_effective_rate": self.peak_effective_rate(),
+            "task_seconds": self.rows[-1].task_seconds if self.rows else 0.0,
+            "feeds": feeds,
+            "fault_events": len(self.fault_series()),
+        }

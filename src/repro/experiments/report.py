@@ -1,13 +1,17 @@
-"""Plain-text reporting and CSV export for experiment results.
+"""Plain-text reporting and CSV/JSON export for experiment results.
 
 The harnesses print the same rows/series the paper's figures show; these
 helpers keep the formatting consistent and write machine-readable CSVs
-next to the console output when asked.
+next to the console output when asked. :func:`write_json` is the
+canonical JSON writer shared with the sweep orchestrator — sorted keys,
+two-space indent, trailing newline, written atomically — so repeated
+runs of deterministic data diff byte-for-byte.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 import os
 from typing import Iterable, List, Optional, Sequence
 
@@ -56,6 +60,24 @@ def write_csv(path: str, headers: Sequence[str], rows: Iterable[Sequence[object]
         writer.writerow(headers)
         for row in rows:
             writer.writerow(["" if cell is None else cell for cell in row])
+    return path
+
+
+def write_json(path: str, data: object) -> str:
+    """Write ``data`` as canonical JSON, atomically; returns the path.
+
+    Canonical means sorted keys, two-space indentation, ``allow_nan``
+    off and a trailing newline — byte-stable for deterministic inputs.
+    The tmp-file + rename dance guarantees readers never observe a
+    half-written file (the sweep treats file presence as completion).
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    payload = json.dumps(data, indent=2, sort_keys=True, allow_nan=False) + "\n"
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    os.replace(tmp_path, path)
     return path
 
 

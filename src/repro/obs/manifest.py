@@ -107,8 +107,17 @@ class RunManifest:
         return f"RunManifest(job={self.data.get('job')!r}, seed={self.data.get('seed')})"
 
 
-def build_manifest(job, wall_time_s: Optional[float] = None) -> RunManifest:
-    """Assemble the manifest of a deployed job's run so far."""
+def build_manifest(
+    job,
+    wall_time_s: Optional[float] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> RunManifest:
+    """Assemble the manifest of a deployed job's run so far.
+
+    ``extra`` merges additional provenance sections (e.g. the sweep
+    orchestrator's ``{"sweep": {...}}`` shard identity) into the
+    manifest; it must not collide with the built-in keys.
+    """
     engine = job.engine
     config = engine.config
     constraints = [
@@ -166,19 +175,31 @@ def build_manifest(job, wall_time_s: Optional[float] = None) -> RunManifest:
     # so unsupervised manifests keep their pre-actuation byte layout.
     if reconciler is not None:
         data["actuation"] = reconciler.summary()
+    if extra:
+        collisions = sorted(set(extra) & set(data))
+        if collisions:
+            raise ValueError(
+                f"extra manifest sections collide with built-in keys: "
+                f"{', '.join(collisions)}"
+            )
+        data.update(extra)
     return RunManifest(data)
 
 
-def export_run(job, directory: str) -> Dict[str, str]:
+def export_run(
+    job, directory: str, extra: Optional[Dict[str, object]] = None
+) -> Dict[str, str]:
     """Write ``manifest.json`` (+ ``metrics.jsonl`` / ``trace.jsonl``).
 
     Only the files whose observability feature is enabled are written;
-    the manifest's ``files`` section names what exists. Returns
-    ``{kind: path}`` for everything written.
+    the manifest's ``files`` section names what exists. ``extra`` merges
+    additional provenance sections into the manifest (see
+    :func:`build_manifest`). Returns ``{kind: path}`` for everything
+    written.
     """
     os.makedirs(directory, exist_ok=True)
     engine = job.engine
-    manifest = build_manifest(job)
+    manifest = build_manifest(job, extra=extra)
     paths: Dict[str, str] = {}
     sampler = getattr(engine, "_metrics_sampler", None)
     if sampler is not None:

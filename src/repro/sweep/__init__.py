@@ -1,0 +1,43 @@
+"""Parallel sweep orchestration: grids of whole-job runs, crash-isolated.
+
+The paper's evaluation (Sec. V) rests on repeating whole-job runs across
+seeds, workloads and policy knobs. This package turns such a study into
+one orchestrated *sweep*:
+
+* a declarative :class:`~repro.sweep.grid.SweepGrid` (seeds × rates ×
+  bounds × workloads × actuation) expands into deterministic, ordered
+  :class:`~repro.sweep.shard.ShardSpec` shards;
+* :func:`~repro.sweep.orchestrator.run_sweep` executes the shards across
+  a pool of worker *processes* with per-shard crash isolation — a worker
+  exception or kill marks only that shard failed and it is retried up to
+  ``max_retries`` times without aborting the sweep;
+* every completed shard persists its deterministic ``result.json`` plus
+  a :mod:`repro.obs.manifest` RunManifest bundle into a checkpoint
+  directory, so an interrupted sweep resumes (``resume=True``) by
+  skipping finished shards;
+* shard outputs are merged deterministically — ordered by shard key,
+  never by completion time — into one ``aggregate.json``
+  (:mod:`repro.sweep.report`) that is byte-identical regardless of
+  worker count, interruption or resume, and renders through
+  :class:`repro.experiments.dashboard.SweepDashboard`.
+
+CLI: ``python -m repro sweep [--grid FILE | flags] --workers N
+[--resume] --out DIR``.
+"""
+
+from repro.sweep.grid import SweepGrid, WORKLOADS
+from repro.sweep.orchestrator import SweepError, SweepStats, run_sweep
+from repro.sweep.report import merge_shard_results, read_aggregate
+from repro.sweep.shard import ShardSpec, run_shard
+
+__all__ = [
+    "SweepGrid",
+    "WORKLOADS",
+    "ShardSpec",
+    "SweepError",
+    "SweepStats",
+    "run_sweep",
+    "run_shard",
+    "merge_shard_results",
+    "read_aggregate",
+]

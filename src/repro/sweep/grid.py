@@ -1,0 +1,182 @@
+"""Declarative sweep grids and their deterministic shard expansion.
+
+A :class:`SweepGrid` names the axes of a parameter study — engine seeds,
+source rates, latency bounds, workload variants and whether actuation
+supervision is on — plus the per-run duration. :meth:`SweepGrid.expand`
+turns the cartesian product into an ordered list of
+:class:`~repro.sweep.shard.ShardSpec` shards whose keys are stable
+across processes and platforms, which is what makes checkpoint/resume
+and the byte-identical merge possible.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Sequence
+
+from repro.sweep.shard import ShardSpec, shard_key
+
+#: workload variants a shard can run (see shard.build_shard_pipeline):
+#: ``steady`` is the plain constant-rate pipeline, ``spike`` adds a
+#: deterministic service-time spike on the worker vertex, ``dropout``
+#: adds a QoS measurement dropout window.
+WORKLOADS = ("steady", "spike", "dropout")
+
+#: bump when the grid layout changes incompatibly
+GRID_SCHEMA_VERSION = 1
+
+
+def _check_numbers(name: str, values: Sequence[float], minimum: float) -> List[float]:
+    if not values:
+        raise ValueError(f"grid axis {name!r} must not be empty")
+    out: List[float] = []
+    for value in values:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeError(f"grid axis {name!r} entries must be numbers, got {value!r}")
+        value = float(value)
+        if not math.isfinite(value) or value <= minimum:
+            raise ValueError(f"grid axis {name!r} entries must be > {minimum}, got {value!r}")
+        out.append(value)
+    return out
+
+
+class SweepGrid:
+    """The declarative description of one sweep (axes × duration)."""
+
+    def __init__(
+        self,
+        name: str = "sweep",
+        seeds: Sequence[int] = (1, 2, 3, 4),
+        rates: Sequence[float] = (400.0,),
+        bounds: Sequence[float] = (0.030,),
+        workloads: Sequence[str] = ("steady",),
+        actuation: Sequence[bool] = (False,),
+        duration: float = 60.0,
+    ) -> None:
+        if not isinstance(name, str) or not name:
+            raise ValueError("grid name must be a non-empty string")
+        if not seeds:
+            raise ValueError("grid axis 'seeds' must not be empty")
+        for seed in seeds:
+            if isinstance(seed, bool) or not isinstance(seed, int):
+                raise TypeError(f"seeds must be ints, got {seed!r}")
+        for workload in workloads:
+            if workload not in WORKLOADS:
+                raise ValueError(
+                    f"unknown workload {workload!r} (have: {', '.join(WORKLOADS)})"
+                )
+        if not workloads:
+            raise ValueError("grid axis 'workloads' must not be empty")
+        if not actuation:
+            raise ValueError("grid axis 'actuation' must not be empty")
+        for flag in actuation:
+            if not isinstance(flag, bool):
+                raise TypeError(f"actuation axis entries must be bools, got {flag!r}")
+        if isinstance(duration, bool) or not isinstance(duration, (int, float)):
+            raise TypeError(f"duration must be a number, got {duration!r}")
+        if not math.isfinite(float(duration)) or float(duration) <= 0:
+            raise ValueError(f"duration must be positive and finite, got {duration!r}")
+        self.name = name
+        self.seeds = sorted(set(int(s) for s in seeds))
+        self.rates = sorted(set(_check_numbers("rates", rates, 0.0)))
+        self.bounds = sorted(set(_check_numbers("bounds", bounds, 0.0)))
+        self.workloads = tuple(w for w in WORKLOADS if w in set(workloads))
+        self.actuation = tuple(sorted(set(actuation)))
+        self.duration = float(duration)
+
+    @classmethod
+    def quick(cls) -> "SweepGrid":
+        """The 8-shard CI smoke grid (short runs, deterministic)."""
+        return cls(
+            name="quick",
+            seeds=(1, 2, 3, 4),
+            rates=(250.0, 400.0),
+            bounds=(0.030,),
+            workloads=("steady",),
+            actuation=(False,),
+            duration=8.0,
+        )
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-serializable, deterministic grid description."""
+        return {
+            "schema": GRID_SCHEMA_VERSION,
+            "name": self.name,
+            "seeds": list(self.seeds),
+            "rates": list(self.rates),
+            "bounds": list(self.bounds),
+            "workloads": list(self.workloads),
+            "actuation": list(self.actuation),
+            "duration": self.duration,
+            "shards": len(self),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepGrid":
+        """Build a grid from a (parsed) grid file / description."""
+        schema = data.get("schema", GRID_SCHEMA_VERSION)
+        if schema != GRID_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported grid schema {schema!r} (expected {GRID_SCHEMA_VERSION})"
+            )
+        known = {"schema", "name", "seeds", "rates", "bounds", "workloads",
+                 "actuation", "duration", "shards"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown grid keys: {', '.join(unknown)}")
+        kwargs: Dict[str, object] = {}
+        for key in ("name", "seeds", "rates", "bounds", "workloads",
+                    "actuation", "duration"):
+            if key in data:
+                kwargs[key] = data[key]
+        return cls(**kwargs)
+
+    @classmethod
+    def from_file(cls, path: str) -> "SweepGrid":
+        """Load a grid from a JSON file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    # ------------------------------------------------------------------
+    # expansion
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return (
+            len(self.seeds) * len(self.rates) * len(self.bounds)
+            * len(self.workloads) * len(self.actuation)
+        )
+
+    def expand(self) -> List[ShardSpec]:
+        """All shards, ordered by shard key (the merge order)."""
+        shards = [
+            ShardSpec(
+                seed=seed,
+                rate=rate,
+                bound=bound,
+                workload=workload,
+                actuation=actuation,
+                duration=self.duration,
+            )
+            for workload in self.workloads
+            for rate in self.rates
+            for bound in self.bounds
+            for actuation in self.actuation
+            for seed in self.seeds
+        ]
+        shards.sort(key=lambda spec: spec.key)
+        keys = [spec.key for spec in shards]
+        if len(set(keys)) != len(keys):  # pragma: no cover - defensive
+            raise ValueError("grid expansion produced duplicate shard keys")
+        return shards
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SweepGrid({self.name!r}, {len(self)} shards)"
+
+
+__all__ = ["SweepGrid", "WORKLOADS", "GRID_SCHEMA_VERSION", "shard_key"]

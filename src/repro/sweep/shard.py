@@ -1,0 +1,258 @@
+"""One sweep shard: a single deterministic whole-job run.
+
+A :class:`ShardSpec` pins everything a worker process needs to execute
+one grid point — seed, source rate, latency bound, workload variant,
+actuation supervision and duration. :func:`run_shard` builds the
+pipeline, runs it, and distills a *deterministic* result dict (no wall
+clock, no object ids), :func:`execute_shard` additionally persists the
+checkpoint: ``result.json`` (written atomically) next to the shard's
+observability bundle exported through
+:func:`repro.obs.manifest.export_run` with sweep provenance merged into
+the manifest. :func:`shard_process_entry` is the picklable subprocess
+entry point the orchestrator spawns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict, Optional
+
+#: result.json layout version; bump on incompatible change
+SHARD_SCHEMA_VERSION = 1
+
+#: checkpoint file written when a shard completed successfully
+RESULT_FILE = "result.json"
+
+#: subprocess exit code of the deliberate fail-once test hook
+FAIL_ONCE_EXIT_CODE = 23
+
+
+def shard_key(
+    workload: str, rate: float, bound: float, actuation: bool, seed: int
+) -> str:
+    """Stable, filesystem-safe shard identity (also the merge order)."""
+    return (
+        f"{workload}-r{rate:g}-b{bound * 1000:g}ms-"
+        f"{'act' if actuation else 'sync'}-s{seed:04d}"
+    )
+
+
+class ShardSpec:
+    """Picklable description of one shard run."""
+
+    __slots__ = ("seed", "rate", "bound", "workload", "actuation",
+                 "duration", "fail_once_marker")
+
+    def __init__(
+        self,
+        seed: int,
+        rate: float,
+        bound: float,
+        workload: str = "steady",
+        actuation: bool = False,
+        duration: float = 60.0,
+        fail_once_marker: Optional[str] = None,
+    ) -> None:
+        self.seed = int(seed)
+        self.rate = float(rate)
+        self.bound = float(bound)
+        self.workload = workload
+        self.actuation = bool(actuation)
+        self.duration = float(duration)
+        #: crash-isolation test hook: when set and the marker file does
+        #: not exist yet, the worker process creates it and dies with
+        #: FAIL_ONCE_EXIT_CODE — the retry then runs normally. Never
+        #: part of params()/results, so checkpoints stay byte-identical.
+        self.fail_once_marker = fail_once_marker
+
+    @property
+    def key(self) -> str:
+        return shard_key(self.workload, self.rate, self.bound,
+                         self.actuation, self.seed)
+
+    def params(self) -> Dict[str, object]:
+        """The deterministic parameters recorded in checkpoints."""
+        return {
+            "seed": self.seed,
+            "rate": self.rate,
+            "bound": self.bound,
+            "workload": self.workload,
+            "actuation": self.actuation,
+            "duration": self.duration,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full spawn payload (params plus test hooks)."""
+        data = self.params()
+        if self.fail_once_marker is not None:
+            data["fail_once_marker"] = self.fail_once_marker
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ShardSpec":
+        return cls(**data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ShardSpec({self.key})"
+
+
+def build_shard_pipeline(spec: ShardSpec, export_dir: Optional[str] = None):
+    """The shard's elastic pipeline (mirrors the ``chaos`` CLI scenario)."""
+    from repro.builder import PipelineBuilder
+    from repro.simulation.faults import MeasurementDropout, ServiceSpike
+    from repro.simulation.randomness import Gamma
+    from repro.workloads.rates import ConstantRate
+
+    builder = (
+        PipelineBuilder(f"sweep-{spec.key}")
+        .source(lambda now, rng: rng.random(), rate=ConstantRate(spec.rate))
+        .map("worker", lambda x: x, service=Gamma(0.004, 0.7), parallelism=(4, 1, 32))
+        .sink()
+        .constrain(bound=spec.bound, name="e2e")
+    )
+    # Workload variants perturb the steady pipeline at fixed fractions of
+    # the run so every duration stays self-similar.
+    if spec.workload == "spike":
+        builder.inject(
+            ServiceSpike(
+                at=spec.duration * 0.25,
+                vertex="worker",
+                factor=3.0,
+                duration=spec.duration * 0.15,
+            ),
+            seed=spec.seed,
+        )
+    elif spec.workload == "dropout":
+        builder.inject(
+            MeasurementDropout(
+                at=spec.duration * 0.25, duration=spec.duration * 0.15
+            ),
+            seed=spec.seed,
+        )
+    if spec.actuation:
+        builder.actuate()
+    if export_dir is not None:
+        # pin_wall_time keeps every checkpoint artifact byte-identical
+        # across worker counts, interruption and resume
+        builder.observe(export_dir=export_dir, pin_wall_time=True)
+    return builder.build()
+
+
+def run_shard(spec: ShardSpec, export_dir: Optional[str] = None) -> Dict[str, object]:
+    """Run one shard to completion; returns its deterministic result.
+
+    When ``export_dir`` is given, the run's observability bundle
+    (manifest/metrics/trace, wall time pinned) is exported there with the
+    shard's provenance merged into the manifest.
+    """
+    from repro.engine.engine import EngineConfig, StreamProcessingEngine
+    from repro.experiments.recording import SeriesRecorder
+    from repro.obs.manifest import export_run, graph_hash
+    from repro.workloads.rates import ConstantRate
+
+    pipeline = build_shard_pipeline(spec, export_dir=export_dir)
+    engine = StreamProcessingEngine(EngineConfig(elastic=True, seed=spec.seed))
+    recorder = SeriesRecorder(
+        engine, interval=5.0, source_vertex="source",
+        source_profile=ConstantRate(spec.rate),
+    )
+    recorder.add_sink_feed("e2e", "sink")
+    job = engine.submit(pipeline)
+    engine.run(spec.duration)
+
+    constraints = [
+        {
+            "name": tracker.constraint.name,
+            "bound": tracker.constraint.bound,
+            "fulfillment_ratio": tracker.fulfillment_ratio,
+            "violations": tracker.violations,
+            "intervals": tracker.intervals_observed,
+        }
+        for tracker in job.trackers
+    ]
+    scaler = job.scaler
+    scaling: Optional[Dict[str, object]] = None
+    if scaler is not None:
+        scaling = {
+            "rounds": scaler.rounds,
+            "activations": len(scaler.events),
+            "skipped_stale": scaler.skipped_stale,
+            "suppressed_scale_downs": scaler.suppressed_scale_downs,
+        }
+    result: Dict[str, object] = {
+        "shard_schema": SHARD_SCHEMA_VERSION,
+        "key": spec.key,
+        "params": spec.params(),
+        "graph_hash": graph_hash(job.job_graph),
+        "virtual_time_s": engine.now,
+        "final_parallelism": {
+            name: rv.parallelism for name, rv in job.runtime.vertices.items()
+        },
+        "constraints": constraints,
+        "scaling": scaling,
+        "actuation": job.reconciler.summary() if job.reconciler is not None else None,
+        "series": recorder.summary(),
+    }
+    if export_dir is not None:
+        export_run(job, export_dir, extra={
+            "sweep": {"shard": spec.key, "params": spec.params()},
+        })
+    return result
+
+
+def execute_shard(spec: ShardSpec, shard_dir: str) -> Dict[str, object]:
+    """Run the shard and persist its checkpoint into ``shard_dir``.
+
+    ``result.json`` is written last and atomically (tmp + rename), so its
+    presence marks a fully completed shard — a crash mid-run can never
+    leave a half-written checkpoint behind.
+    """
+    from repro.experiments.report import write_json
+
+    os.makedirs(shard_dir, exist_ok=True)
+    result = run_shard(spec, export_dir=shard_dir)
+    write_json(os.path.join(shard_dir, RESULT_FILE), result)
+    return result
+
+
+def load_shard_result(
+    shard_dir: str, spec: Optional[ShardSpec] = None
+) -> Optional[Dict[str, object]]:
+    """A shard's checkpointed result, or None when absent/invalid.
+
+    With ``spec`` given, a checkpoint whose recorded parameters differ
+    (the grid changed under the checkpoint directory) is rejected so the
+    shard re-runs instead of polluting the merge.
+    """
+    path = os.path.join(shard_dir, RESULT_FILE)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            result = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(result, dict):
+        return None
+    if result.get("shard_schema") != SHARD_SCHEMA_VERSION:
+        return None
+    if spec is not None:
+        if result.get("key") != spec.key or result.get("params") != spec.params():
+            return None
+    return result
+
+
+def shard_process_entry(spec_dict: Dict[str, object], shard_dir: str) -> None:
+    """Worker-process entry point (crash-isolated by the orchestrator)."""
+    spec = ShardSpec.from_dict(spec_dict)
+    if spec.fail_once_marker is not None and not os.path.exists(spec.fail_once_marker):
+        with open(spec.fail_once_marker, "w", encoding="utf-8") as handle:
+            handle.write(spec.key + "\n")
+        os._exit(FAIL_ONCE_EXIT_CODE)
+    try:
+        execute_shard(spec, shard_dir)
+    except Exception:  # noqa: BLE001 - the exit code is the signal
+        import traceback
+
+        traceback.print_exc(file=sys.stderr)
+        raise SystemExit(1)

@@ -420,6 +420,87 @@ class TestReconciler:
 
 
 # ----------------------------------------------------------------------
+# convergence regressions (issue 5): stale overwrite, dropped partials
+# ----------------------------------------------------------------------
+
+
+class TestReconcilerConvergenceRegressions:
+    """The two convergence bugs that silently corrupt multi-seed sweeps."""
+
+    def test_stale_retry_cannot_overwrite_newer_request(self):
+        """A re-request while in flight must supersede the old request.
+
+        Pre-fix, ``_issue`` overwrote ``in_flight[vertex]`` without
+        marking the replaced request superseded: its retry callback —
+        still on the heap with a long backoff — later applied the
+        outdated target (4) over the newer one (6).
+        """
+        engine = deploy()
+        rec, _ = make_reconciler(engine, backoff_base=5.0, max_retries=3)
+        rec.fail_actuations("Worker", until=1.0)
+        rec.request("Worker", 4)   # attempt fails at t=0.5; retry waits to t=5.5
+        engine.run(1.2)
+        assert rec.in_flight["Worker"].target == 4
+        rec.request("Worker", 6)   # newer order while the old retry is pending
+        engine.run(10.0)           # the stale retry fires at t=5.5
+        assert engine.runtime.vertex("Worker").target_parallelism == 6
+        assert rec.applied == 1    # exactly one application — no double-apply
+        assert rec.superseded_requests == 1
+        assert rec.in_flight == {} and rec.desired == {}
+        kinds = [kind for _, kind, _, _, _ in rec.trace()]
+        assert "superseded" in kinds
+
+    def test_partial_application_keeps_desired_and_lag(self):
+        """Partial application must not be declared convergence.
+
+        Scale-down to 2 while 3 additions are still pending: nothing is
+        drainable (live parallelism sits at ``min_parallelism``), so the
+        scheduler applies 0 of the requested -3. Pre-fix, ``_succeed``
+        popped ``desired`` anyway and ``convergence_lag()`` under-reported
+        0 forever after.
+        """
+        engine = deploy(worker_min=2, n_workers=2)
+        engine.run(0.5)
+        engine.scheduler.set_parallelism("Worker", 5)  # 3 additions pending
+        rec, _ = make_reconciler(engine)
+        rec.request("Worker", 2)
+        engine.run(0.6)  # request completes: live p == min, nothing drainable
+        assert rec.partials == 1
+        assert rec.desired == {"Worker": 2}
+        assert rec.convergence_lag() == 3
+        assert any(kind == "partial" for _, kind, _, _, _ in rec.trace())
+
+    def test_partial_application_eventually_converges(self):
+        """The kept remainder is re-issued and converges once drainable."""
+        engine = deploy(worker_min=2, n_workers=2)
+        engine.run(0.5)
+        engine.scheduler.set_parallelism("Worker", 5)
+        rec, _ = make_reconciler(engine)
+        rec.request("Worker", 2)
+        engine.run(2.0)  # partial applied; the pending additions became live
+        assert rec.convergence_lag() > 0
+        rec.on_adjustment_tick(violated=False)  # re-issues the remainder
+        engine.run(1.0)
+        assert engine.runtime.vertex("Worker").target_parallelism == 2
+        assert rec.convergence_lag() == 0
+        assert rec.desired == {} and rec.in_flight == {}
+        kinds = [kind for _, kind, _, _, _ in rec.trace()]
+        assert "re-issue" in kinds
+
+    def test_full_application_still_clears_state(self):
+        """The partial path must not leak state on ordinary successes."""
+        engine = deploy()
+        rec, _ = make_reconciler(engine)
+        rec.request("Worker", 4)
+        engine.run(1.0)
+        assert rec.partials == 0
+        assert rec.desired == {} and rec.in_flight == {}
+        assert rec._partial_pending == set()
+        rec.on_adjustment_tick(violated=False)  # nothing to re-issue
+        assert rec.requests == 1
+
+
+# ----------------------------------------------------------------------
 # scaler / engine / builder integration
 # ----------------------------------------------------------------------
 

@@ -58,6 +58,11 @@ class TestPublicApi:
             "repro.experiments.validation",
             "repro.experiments.compare_policies",
             "repro.experiments.ascii",
+            "repro.sweep",
+            "repro.sweep.grid",
+            "repro.sweep.shard",
+            "repro.sweep.orchestrator",
+            "repro.sweep.report",
             "repro.cli",
         ],
     )
