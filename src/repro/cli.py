@@ -27,6 +27,16 @@ Commands
     Run the pinned-seed micro/macro benchmark suite and write
     ``BENCH_core.json`` (``--quick`` for the CI smoke variant,
     ``--check BASELINE`` to fail on >30% speedup regression).
+``compare``
+    Evaluate run(s) against a committed baseline under a tolerance spec
+    (see :mod:`repro.evaluate`): exit 0 when every metric statistic is
+    in tolerance, 1 otherwise (naming the offending metrics);
+    ``--suggest`` derives the empirical tolerance spec that would admit
+    the given runs, ``--write-baseline`` pins a new baseline file.
+``runs``
+    Index exported run artifacts (sweeps, shards, plain observability
+    exports) under a root into stable ids that ``compare --index`` can
+    address instead of raw paths.
 ``info``
     Show version and the experiment inventory.
 """
@@ -112,7 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated latency bounds (s)")
     sweep.add_argument("--workloads", metavar="CSV", default=None,
                        help="comma-separated workload variants "
-                            "(steady, spike, dropout)")
+                            "(steady, spike, dropout, twitter)")
     sweep.add_argument("--actuation", choices=("off", "on", "both"), default=None,
                        help="supervised-actuation axis (default: grid/off)")
     sweep.add_argument("--duration", type=float, default=None,
@@ -156,6 +166,39 @@ def build_parser() -> argparse.ArgumentParser:
                             "file; exit 1 on >30%% regression")
     bench.add_argument("--no-macro", action="store_true",
                        help="skip the elastic TwitterSentiment macro benchmark")
+
+    comp = sub.add_parser(
+        "compare", help="evaluate runs against a committed baseline"
+    )
+    comp.add_argument("runs", nargs="+", metavar="RUN",
+                      help="sweep output dir, aggregate.json, baseline-format "
+                           "file, or (with --index) a run-history id")
+    comp.add_argument("--baseline", metavar="FILE", default="baselines/twitter.json",
+                      help="baseline file to gate against "
+                           "(default: baselines/twitter.json)")
+    comp.add_argument("--tolerance", metavar="FILE", default=None,
+                      help="tolerance spec file overriding the baseline's own")
+    comp.add_argument("--suggest", action="store_true",
+                      help="derive the empirical tolerance spec that would "
+                           "admit every given run (from N same-config runs)")
+    comp.add_argument("--index", metavar="ROOT", default=None,
+                      help="resolve RUN tokens as run-history ids under ROOT "
+                           "(see 'repro runs')")
+    comp.add_argument("--json", metavar="PATH", default=None,
+                      help="write the machine-readable comparison JSON")
+    comp.add_argument("--html", metavar="PATH", default=None,
+                      help="write the standalone HTML report")
+    comp.add_argument("--write-baseline", metavar="PATH", default=None,
+                      help="pin the first RUN as a new baseline file "
+                           "(bootstraps when --baseline does not exist yet)")
+
+    runs = sub.add_parser(
+        "runs", help="index exported run artifacts under a directory"
+    )
+    runs.add_argument("--root", metavar="DIR", default=".",
+                      help="directory to scan for run artifacts (default: .)")
+    runs.add_argument("--json", metavar="PATH", default=None,
+                      help="also write the index JSON to PATH")
 
     sub.add_parser("info", help="version and experiment inventory")
     return parser
@@ -379,6 +422,156 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 1 if result.stats.failed else 0
 
 
+def _run_name(path: str) -> str:
+    """A readable candidate name from a run path."""
+    import os
+
+    path = os.path.normpath(path)
+    base = os.path.basename(path)
+    if base == "aggregate.json":
+        base = os.path.basename(os.path.dirname(path)) or base
+    if base.endswith(".json"):
+        base = base[: -len(".json")] or base
+    return base
+
+
+def _load_run(path: str):
+    """Load one run: ``(name, data)`` from a dir/aggregate/baseline file."""
+    import json
+    import os
+
+    name = _run_name(path)
+    if os.path.isdir(path):
+        path = os.path.join(path, "aggregate.json")
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or not ("shards" in data or "metrics" in data):
+        raise ValueError(
+            f"{path} is neither a sweep aggregate nor a baseline-format file"
+        )
+    return name, data
+
+
+def _run_candidate(name: str, data: dict):
+    from repro.evaluate import Candidate
+
+    if "shards" in data:
+        return Candidate.from_aggregate(name, data)
+    return Candidate(data.get("name", name), data["metrics"])
+
+
+def _pin_baseline(path: str, name: str, data: dict, tolerance) -> str:
+    """Write ``data`` (aggregate or baseline-format) as a baseline file."""
+    from repro.evaluate import Baseline
+
+    if "shards" in data:
+        baseline = Baseline.from_aggregate(name, data, tolerance=tolerance)
+    else:
+        baseline = Baseline(
+            data.get("name", name), data["metrics"],
+            tolerance=tolerance, scenario=data.get("scenario"),
+        )
+    return baseline.write(path)
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.evaluate import (
+        Baseline,
+        RunIndex,
+        ToleranceSpec,
+        compare_runs,
+        render_comparison,
+        suggest_from_runs,
+        write_comparison_html,
+    )
+    from repro.experiments.report import write_json
+
+    tolerance = None
+    if args.tolerance is not None:
+        try:
+            with open(args.tolerance, "r", encoding="utf-8") as handle:
+                tolerance = ToleranceSpec.from_dict(json.load(handle))
+        except (OSError, ValueError) as exc:
+            print(f"cannot load tolerance spec {args.tolerance!r}: {exc}")
+            return 2
+
+    baseline = None
+    if os.path.exists(args.baseline) or args.write_baseline is None:
+        try:
+            baseline = Baseline.read(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline {args.baseline!r}: {exc}")
+            return 2
+
+    index = None
+    if args.index is not None:
+        index = RunIndex.scan(args.index)
+    loaded = []
+    for token in args.runs:
+        try:
+            path = token
+            if not os.path.exists(path) and index is not None:
+                path = index.resolve(token)
+            loaded.append(_load_run(path))
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load run {token!r}: {exc}")
+            return 2
+    candidates = [_run_candidate(name, data) for name, data in loaded]
+
+    failed = False
+    suggested = None
+    if baseline is not None:
+        comparison = compare_runs(baseline, candidates, tolerance=tolerance)
+        if args.suggest:
+            _, suggested = suggest_from_runs(baseline, candidates)
+        print(render_comparison(comparison))
+        report = comparison.to_dict(suggest=args.suggest)
+        if suggested is not None:
+            report["suggested_tolerance"] = suggested
+        if args.json is not None:
+            print(f"comparison: {write_json(args.json, report)}")
+        if args.html is not None:
+            print(f"report: {write_comparison_html(comparison, args.html)}")
+        if suggested is not None:
+            print()
+            print("suggested tolerance spec (admits every compared run):")
+            print(json.dumps(suggested, indent=2, sort_keys=True))
+        failed = not comparison.passed
+        if failed:
+            print()
+            print("out-of-tolerance metrics: "
+                  + ", ".join(comparison.failed_metrics()))
+    if args.write_baseline is not None:
+        name, data = loaded[0]
+        pin_tolerance = None
+        if tolerance is not None:
+            pin_tolerance = tolerance.describe()
+        elif args.suggest:
+            pinned = _run_candidate(name, data)
+            seed = Baseline(name, pinned.metrics) if "shards" not in data else (
+                Baseline.from_aggregate(name, data)
+            )
+            _, pin_tolerance = suggest_from_runs(seed, candidates)
+        elif baseline is not None:
+            pin_tolerance = baseline.tolerance.describe()
+        path = _pin_baseline(args.write_baseline, name, data, pin_tolerance)
+        print(f"baseline pinned: {path}")
+    return 1 if failed else 0
+
+
+def _run_runs(args: argparse.Namespace) -> int:
+    from repro.evaluate import RunIndex
+
+    index = RunIndex.scan(args.root)
+    print(index.render())
+    if args.json is not None:
+        print(f"index: {index.write(args.json)}")
+    return 0
+
+
 def _run_chaos(args: argparse.Namespace) -> None:
     from repro.builder import PipelineBuilder
     from repro.engine.engine import EngineConfig, StreamProcessingEngine
@@ -525,6 +718,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "compare":
+        return _run_compare(args)
+    if args.command == "runs":
+        return _run_runs(args)
     if args.command == "trace":
         if args.check:
             return _trace_check(args.obs_dir)

@@ -1,0 +1,71 @@
+"""Tolerance-based continuous evaluation over sweep results.
+
+The sweep orchestrator emits byte-identical ``aggregate.json`` files;
+this package turns them into a gated, self-verifying evaluation
+platform in the spirit of performance-test baseline/tolerance harnesses:
+
+* :mod:`repro.evaluate.metrics` extracts per-metric value series
+  (constraint fulfillment and violation rate, per-feed latency,
+  task-seconds, parallelism, CPU utilization) from an aggregate and
+  condenses each into the canonical ``avg/min/max/p50/p95/count``
+  statistics, tagged with a regression direction;
+* :mod:`repro.evaluate.tolerance` defines the per-metric, per-statistic
+  tolerance spec (absolute/relative modes, inclusive checks) and the
+  suggested-empirical-tolerance inversion;
+* :mod:`repro.evaluate.baseline` pins known-good statistics plus their
+  tolerances into committed ``baselines/*.json`` files;
+* :mod:`repro.evaluate.compare` runs candidates against a baseline into
+  a deterministic machine-readable :class:`Comparison`;
+* :mod:`repro.evaluate.render` renders the comparison as an ASCII
+  box-plot report or a standalone HTML page;
+* :mod:`repro.evaluate.history` indexes exported run artifacts
+  (manifests, shard checkpoints, aggregates) under stable ids so
+  comparisons can address prior runs by id instead of raw paths.
+
+CLI: ``python -m repro compare RUN [RUN ...] [--baseline B]
+[--tolerance T] [--suggest]`` and ``python -m repro runs --root DIR``.
+"""
+
+from repro.evaluate.baseline import Baseline, DEFAULT_TOLERANCE
+from repro.evaluate.compare import (
+    Candidate,
+    Comparison,
+    StatCheck,
+    compare_runs,
+    suggest_from_runs,
+)
+from repro.evaluate.history import RunEntry, RunIndex
+from repro.evaluate.metrics import MetricSeries, extract_metrics, metric_direction
+from repro.evaluate.render import (
+    render_comparison,
+    render_comparison_html,
+    write_comparison_html,
+)
+from repro.evaluate.tolerance import (
+    ToleranceSpec,
+    limit_value,
+    suggest_tolerance,
+    within_tolerance,
+)
+
+__all__ = [
+    "Baseline",
+    "Candidate",
+    "Comparison",
+    "DEFAULT_TOLERANCE",
+    "MetricSeries",
+    "RunEntry",
+    "RunIndex",
+    "StatCheck",
+    "ToleranceSpec",
+    "compare_runs",
+    "extract_metrics",
+    "limit_value",
+    "metric_direction",
+    "render_comparison",
+    "render_comparison_html",
+    "suggest_from_runs",
+    "suggest_tolerance",
+    "within_tolerance",
+    "write_comparison_html",
+]

@@ -1,0 +1,220 @@
+"""Run history: an addressable index over exported run artifacts.
+
+Sweeps and observability exports leave ``manifest.json`` /
+``result.json`` / ``aggregate.json`` files scattered under output
+directories; the history index walks a root, identifies every run-like
+artifact, and assigns each a *stable id* derived from its provenance
+(kind, job, seed, graph hash, shard key, relative path) — never from
+scan time — so ``repro compare`` can address prior runs as
+``--index ROOT`` + id instead of raw paths, and ``repro runs`` can list
+what exists.
+
+Three artifact kinds are indexed:
+
+``sweep``
+    a directory holding a merged ``aggregate.json`` (the unit
+    comparisons evaluate);
+``shard``
+    a sweep shard checkpoint (``result.json`` + manifest with the
+    orchestrator's ``sweep`` provenance section);
+``run``
+    a plain observability export (``manifest.json`` without sweep
+    provenance).
+
+Git provenance (commit, branch, dirty flag) rides along when the
+artifact's manifest recorded it at export time (see
+:func:`repro.obs.manifest.git_provenance`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Mapping, Optional
+
+from repro.obs.manifest import MANIFEST_FILE
+
+#: bump when the index layout changes incompatibly
+INDEX_SCHEMA_VERSION = 1
+
+#: canonical index file name (written next to the scanned root on demand)
+INDEX_FILE = "run_index.json"
+
+#: characters of the provenance digest used as the run id
+ID_LENGTH = 12
+
+
+def _stable_id(identity: Mapping[str, object]) -> str:
+    digest = hashlib.sha256(
+        json.dumps(identity, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return digest[:ID_LENGTH]
+
+
+def _read_json(path: str) -> Optional[Dict[str, object]]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+class RunEntry:
+    """One indexed artifact."""
+
+    __slots__ = ("id", "kind", "path", "job", "seed", "graph_hash",
+                 "shard", "virtual_time_s", "git")
+
+    def __init__(
+        self,
+        kind: str,
+        path: str,
+        job: Optional[str] = None,
+        seed: Optional[int] = None,
+        graph_hash: Optional[str] = None,
+        shard: Optional[str] = None,
+        virtual_time_s: Optional[float] = None,
+        git: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.kind = kind
+        self.path = path
+        self.job = job
+        self.seed = seed
+        self.graph_hash = graph_hash
+        self.shard = shard
+        self.virtual_time_s = virtual_time_s
+        self.git = dict(git) if git else None
+        self.id = _stable_id({
+            "kind": kind, "path": path, "job": job, "seed": seed,
+            "graph_hash": graph_hash, "shard": shard,
+        })
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "path": self.path,
+            "job": self.job,
+            "seed": self.seed,
+            "graph_hash": self.graph_hash,
+            "shard": self.shard,
+            "virtual_time_s": self.virtual_time_s,
+            "git": self.git,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RunEntry({self.id}, {self.kind}, {self.path!r})"
+
+
+class RunIndex:
+    """The scanned index; resolves ids (or unique prefixes) to paths."""
+
+    def __init__(self, root: str, entries: List[RunEntry]) -> None:
+        self.root = root
+        self.entries = sorted(entries, key=lambda e: (e.kind, e.path))
+
+    @classmethod
+    def scan(cls, root: str) -> "RunIndex":
+        """Walk ``root`` and index every run-like artifact under it."""
+        root = os.path.abspath(root)
+        entries: List[RunEntry] = []
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()  # deterministic traversal
+            rel = os.path.relpath(dirpath, root)
+            rel = "" if rel == "." else rel
+            if "aggregate.json" in filenames:
+                aggregate = _read_json(os.path.join(dirpath, "aggregate.json"))
+                if aggregate is not None and "shards" in aggregate:
+                    grid = aggregate.get("grid") or {}
+                    entries.append(RunEntry(
+                        kind="sweep",
+                        path=rel,
+                        job=grid.get("name"),
+                        virtual_time_s=grid.get("duration"),
+                    ))
+            if MANIFEST_FILE in filenames:
+                manifest = _read_json(os.path.join(dirpath, MANIFEST_FILE))
+                if manifest is None or "seed" not in manifest:
+                    continue
+                sweep = manifest.get("sweep") or {}
+                entries.append(RunEntry(
+                    kind="shard" if sweep else "run",
+                    path=rel,
+                    job=manifest.get("job"),
+                    seed=manifest.get("seed"),
+                    graph_hash=manifest.get("graph_hash"),
+                    shard=sweep.get("shard"),
+                    virtual_time_s=manifest.get("virtual_time_s"),
+                    git=manifest.get("git"),
+                ))
+        return cls(root, entries)
+
+    # ------------------------------------------------------------------
+    # addressing
+    # ------------------------------------------------------------------
+
+    def resolve(self, token: str) -> str:
+        """An id (or unique prefix, or shard key) → absolute artifact path.
+
+        Raises :class:`KeyError` with the ambiguity or a miss spelled
+        out, so the CLI can surface it verbatim.
+        """
+        matches = [e for e in self.entries if e.id == token]
+        if not matches:
+            matches = [e for e in self.entries if e.id.startswith(token)]
+        if not matches:
+            matches = [e for e in self.entries if e.shard == token]
+        if not matches:
+            raise KeyError(
+                f"no run {token!r} in the index of {self.root} "
+                f"({len(self.entries)} entries; see 'repro runs')"
+            )
+        if len(matches) > 1:
+            ids = ", ".join(e.id for e in matches[:5])
+            raise KeyError(f"run id {token!r} is ambiguous: {ids}")
+        return os.path.join(self.root, matches[0].path)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable index (paths relative to the scanned root)."""
+        return {
+            "schema": INDEX_SCHEMA_VERSION,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    def write(self, path: str) -> str:
+        """Write the index through the canonical atomic JSON writer."""
+        from repro.experiments.report import write_json
+
+        return write_json(path, self.to_dict())
+
+    def render(self) -> str:
+        """A plain-text table of the index, newest-agnostic (path order)."""
+        from repro.experiments.report import format_table
+
+        rows = []
+        for entry in self.entries:
+            git = entry.git or {}
+            commit = git.get("commit")
+            rows.append([
+                entry.id,
+                entry.kind,
+                entry.job,
+                entry.seed,
+                entry.graph_hash,
+                entry.shard,
+                (str(commit)[:10] + ("*" if git.get("dirty") else "")) if commit else None,
+                entry.path or ".",
+            ])
+        return format_table(
+            ["id", "kind", "job", "seed", "graph", "shard", "git", "path"], rows,
+            title=f"runs under {self.root} ({len(self.entries)}):",
+        )

@@ -1,0 +1,291 @@
+"""Comparison report rendering: ASCII box-plot spreads and HTML.
+
+The ASCII renderer is what ``repro compare`` prints: a verdict header,
+a per-metric table (baseline vs. candidate averages and the worst
+check), box-plot-style spread bars putting the baseline's min/median/
+p95/max range and every candidate's on one shared scale, and the failing
+checks spelled out with their suggested empirical tolerances. The HTML
+renderer emits the same content as a standalone page (inline CSS, no
+assets) written through the canonical atomic text writer
+(:func:`repro.experiments.report.write_text`), so CI can upload it as
+the evaluation artifact.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.evaluate.compare import Comparison
+from repro.experiments.ascii import spread_bar
+from repro.experiments.report import format_table
+
+
+def _fmt(value: Optional[object]) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _metric_scale(
+    comparison: Comparison, metric: str
+) -> Optional[Tuple[float, float]]:
+    """The shared [lo, hi] scale across baseline and all candidates."""
+    values: List[float] = []
+    for entry in [comparison.baseline.metrics.get(metric)] + [
+        candidate.metrics.get(metric) for candidate in comparison.candidates
+    ]:
+        if not entry:
+            continue
+        for stat in ("min", "max"):
+            value = entry.get(stat)
+            if value is not None:
+                values.append(float(value))
+    if not values:
+        return None
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        pad = abs(lo) * 0.05 or 1.0
+        lo, hi = lo - pad, hi + pad
+    return lo, hi
+
+
+def _spread_row(entry: Mapping[str, object], lo: float, hi: float, width: int) -> str:
+    return spread_bar(
+        minimum=float(entry["min"]),
+        median=float(entry["p50"]),
+        p95=float(entry["p95"]),
+        maximum=float(entry["max"]),
+        lo=lo,
+        hi=hi,
+        width=width,
+    )
+
+
+class _MetricRowView:
+    """Everything the renderers need to show one metric, pre-digested."""
+
+    def __init__(self, comparison: Comparison, metric: str) -> None:
+        self.metric = metric
+        base = comparison.baseline.metrics[metric]
+        self.direction = base["direction"]
+        self.baseline_avg = base.get("avg")
+        self.candidate_avgs = [
+            (c.name, (c.metrics.get(metric) or {}).get("avg"))
+            for c in comparison.candidates
+        ]
+        checks = [c for c in comparison.checks if c.metric == metric]
+        problems = [p for p in comparison.problems if p.metric == metric]
+        if problems:
+            self.status = "PROBLEM"
+        elif any(not c.passed for c in checks):
+            self.status = "FAIL"
+        elif checks:
+            self.status = "ok"
+        else:
+            self.status = "unchecked"
+
+
+def _metric_views(comparison: Comparison) -> List[_MetricRowView]:
+    return [
+        _MetricRowView(comparison, metric)
+        for metric in sorted(comparison.baseline.metrics)
+    ]
+
+
+def render_comparison(comparison: Comparison, width: int = 60) -> str:
+    """The full plain-text comparison report."""
+    verdict = "PASS" if comparison.passed else "FAIL"
+    names = ", ".join(c.name for c in comparison.candidates) or "(none)"
+    sections: List[str] = [
+        f"compare vs. baseline {comparison.baseline.name!r}: "
+        f"candidates [{names}] — {verdict} "
+        f"({sum(c.passed for c in comparison.checks)}/{len(comparison.checks)} "
+        f"checks in tolerance, {len(comparison.problems)} problems)"
+    ]
+
+    rows = []
+    for view in _metric_views(comparison):
+        row: List[object] = [view.metric, view.direction, _fmt(view.baseline_avg)]
+        row.extend(_fmt(avg) for _, avg in view.candidate_avgs)
+        row.append(view.status)
+        rows.append(row)
+    headers = ["metric", "direction", "baseline avg"]
+    headers.extend(f"{c.name} avg" for c in comparison.candidates)
+    headers.append("status")
+    sections += ["", format_table(headers, rows, title="per-metric summary:")]
+
+    spread_lines: List[str] = ["metric spread (min [p50..p95] max, shared scale):"]
+    label_width = max(
+        [len("baseline")] + [len(c.name) for c in comparison.candidates]
+    )
+    for view in _metric_views(comparison):
+        scale = _metric_scale(comparison, view.metric)
+        if scale is None:
+            continue
+        lo, hi = scale
+        spread_lines.append(
+            f"  {view.metric}  [{_fmt(lo)} .. {_fmt(hi)}]"
+        )
+        base = comparison.baseline.metrics[view.metric]
+        if base.get("min") is not None:
+            spread_lines.append(
+                f"    {'baseline'.ljust(label_width)}  {_spread_row(base, lo, hi, width)}"
+            )
+        for candidate in comparison.candidates:
+            entry = candidate.metrics.get(view.metric)
+            if not entry or entry.get("min") is None:
+                continue
+            spread_lines.append(
+                f"    {candidate.name.ljust(label_width)}  "
+                f"{_spread_row(entry, lo, hi, width)}"
+            )
+    sections += ["", "\n".join(spread_lines)]
+
+    failures = comparison.failures()
+    if failures or comparison.problems:
+        lines = ["out of tolerance:"]
+        for check in failures:
+            lines.append("  " + check.describe())
+            suggested = "inf" if check.suggested is None else f"{check.suggested:g}"
+            lines.append(
+                f"       suggested {check.mode} tolerance for "
+                f"{check.metric}.{check.stat}: {suggested}"
+            )
+        for problem in comparison.problems:
+            lines.append("  " + problem.describe())
+        sections += ["", "\n".join(lines)]
+    if comparison.new_metrics:
+        sections += [
+            "",
+            "new metrics (absent from the baseline, unchecked): "
+            + ", ".join(comparison.new_metrics),
+        ]
+    return "\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# HTML
+# ----------------------------------------------------------------------
+
+_HTML_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em; color: #1a1a2e; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: 0.8em 0; font-size: 0.9em; }
+th, td { border: 1px solid #cfd4dc; padding: 0.3em 0.7em; text-align: left; }
+th { background: #eef1f5; }
+.pass { color: #0a6e31; font-weight: 600; } .fail { color: #b3261e; font-weight: 600; }
+.bar { position: relative; width: 420px; height: 14px; background: #eef1f5; }
+.whisker { position: absolute; top: 6px; height: 2px; background: #7a8699; }
+.box { position: absolute; top: 2px; height: 10px; background: #9db8e8; }
+.median { position: absolute; top: 0; width: 2px; height: 14px; background: #1f3a6e; }
+.label { font-size: 0.8em; color: #5b6472; }
+pre { background: #f6f7f9; padding: 0.8em; overflow-x: auto; }
+"""
+
+
+def _html_bar(entry: Mapping[str, object], lo: float, hi: float) -> str:
+    span = hi - lo
+    if span <= 0 or entry.get("min") is None:
+        return ""
+
+    def pct(value: float) -> float:
+        return max(0.0, min(100.0, (value - lo) / span * 100.0))
+
+    left = pct(float(entry["min"]))
+    right = pct(float(entry["max"]))
+    box_left = pct(float(entry["p50"]))
+    box_right = pct(float(entry["p95"]))
+    median = pct(float(entry["p50"]))
+    return (
+        '<div class="bar">'
+        f'<div class="whisker" style="left:{left:.2f}%;width:{max(right - left, 0.4):.2f}%"></div>'
+        f'<div class="box" style="left:{box_left:.2f}%;width:{max(box_right - box_left, 0.4):.2f}%"></div>'
+        f'<div class="median" style="left:{median:.2f}%"></div>'
+        "</div>"
+    )
+
+
+def render_comparison_html(comparison: Comparison, title: str = "repro compare") -> str:
+    """The comparison report as one standalone HTML page."""
+    esc = html.escape
+    verdict = "PASS" if comparison.passed else "FAIL"
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{esc(title)}</title>",
+        f"<style>{_HTML_STYLE}</style></head><body>",
+        f"<h1>{esc(title)} — baseline {esc(comparison.baseline.name)} "
+        f'<span class="{verdict.lower()}">{verdict}</span></h1>',
+    ]
+
+    parts.append("<h2>Per-metric summary</h2><table><tr><th>metric</th>"
+                 "<th>direction</th><th>baseline avg</th>")
+    for candidate in comparison.candidates:
+        parts.append(f"<th>{esc(candidate.name)} avg</th>")
+    parts.append("<th>spread</th><th>status</th></tr>")
+    for view in _metric_views(comparison):
+        css = "pass" if view.status == "ok" else (
+            "fail" if view.status in ("FAIL", "PROBLEM") else "label"
+        )
+        parts.append(f"<tr><td>{esc(view.metric)}</td><td>{esc(view.direction)}</td>"
+                     f"<td>{esc(_fmt(view.baseline_avg))}</td>")
+        for _, avg in view.candidate_avgs:
+            parts.append(f"<td>{esc(_fmt(avg))}</td>")
+        scale = _metric_scale(comparison, view.metric)
+        bars = ""
+        if scale is not None:
+            lo, hi = scale
+            rows: List[str] = []
+            base_bar = _html_bar(comparison.baseline.metrics[view.metric], lo, hi)
+            if base_bar:
+                rows.append(f'<span class="label">baseline</span>{base_bar}')
+            for candidate in comparison.candidates:
+                entry = candidate.metrics.get(view.metric)
+                if entry:
+                    bar = _html_bar(entry, lo, hi)
+                    if bar:
+                        rows.append(
+                            f'<span class="label">{esc(candidate.name)}</span>{bar}'
+                        )
+            bars = "".join(rows)
+        parts.append(f"<td>{bars}</td>"
+                     f'<td class="{css}">{esc(view.status)}</td></tr>')
+    parts.append("</table>")
+
+    failures = comparison.failures()
+    if failures or comparison.problems:
+        parts.append("<h2>Out of tolerance</h2><table><tr><th>metric</th><th>stat</th>"
+                     "<th>baseline</th><th>value</th><th>limit</th>"
+                     "<th>suggested tolerance</th></tr>")
+        for check in failures:
+            suggested = "inf" if check.suggested is None else f"{check.suggested:g}"
+            parts.append(
+                f"<tr><td>{esc(check.metric)}</td><td>{esc(check.stat)}</td>"
+                f"<td>{check.baseline:.6g}</td><td>{check.value:.6g}</td>"
+                f"<td>{check.limit:.6g}</td><td>{esc(suggested)}</td></tr>"
+            )
+        parts.append("</table>")
+        if comparison.problems:
+            parts.append("<ul>")
+            for problem in comparison.problems:
+                parts.append(f"<li>{esc(problem.describe())}</li>")
+            parts.append("</ul>")
+    if comparison.new_metrics:
+        parts.append(
+            '<p class="label">new metrics (unchecked): '
+            + esc(", ".join(comparison.new_metrics)) + "</p>"
+        )
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+def write_comparison_html(
+    comparison: Comparison, path: str, title: str = "repro compare"
+) -> str:
+    """Write the HTML report atomically; returns the path."""
+    from repro.experiments.report import write_text
+
+    return write_text(path, render_comparison_html(comparison, title=title))

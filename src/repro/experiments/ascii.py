@@ -89,6 +89,50 @@ def line_chart(
     return "\n".join(rows)
 
 
+def spread_bar(
+    minimum: float,
+    median: float,
+    p95: float,
+    maximum: float,
+    lo: float,
+    hi: float,
+    width: int = 60,
+) -> str:
+    """Render one box-plot-style spread row on a shared ``[lo, hi]`` scale.
+
+    Whiskers (``-``) span min..max, the box (``=``) spans median..p95
+    (the tail side a latency regression grows into), ``|`` caps the
+    whiskers and ``O`` marks the median::
+
+        |-----O====]------|
+
+    Used by the comparison report to put a baseline's spread and every
+    candidate's on one scale. Degenerate scales (``hi <= lo``) render a
+    single mark.
+    """
+    if width < 3:
+        raise ValueError("width must be >= 3")
+    span = hi - lo
+    if span <= 0:
+        return "O"
+
+    def pos(value: float) -> int:
+        clamped = min(max(value, lo), hi)
+        return int(round((clamped - lo) / span * (width - 1)))
+
+    chars = [" "] * width
+    for i in range(pos(minimum), pos(maximum) + 1):
+        chars[i] = "-"
+    for i in range(pos(median), pos(p95) + 1):
+        chars[i] = "="
+    chars[pos(minimum)] = "|"
+    chars[pos(maximum)] = "|"
+    if pos(p95) != pos(maximum):
+        chars[pos(p95)] = "]"
+    chars[pos(median)] = "O"
+    return "".join(chars)
+
+
 def _fmt(value: float) -> str:
     if value == 0:
         return "0"

@@ -63,22 +63,34 @@ def write_csv(path: str, headers: Sequence[str], rows: Iterable[Sequence[object]
     return path
 
 
+def write_text(path: str, payload: str) -> str:
+    """Write ``payload`` atomically (tmp + rename); returns the path.
+
+    The single canonical text writer: every evaluation artifact (sweep
+    checkpoints, aggregates, baselines, comparison JSON/HTML, manifests)
+    routes through here, so readers never observe a half-written file
+    and identical payloads produce byte-identical files across
+    platforms (UTF-8, ``\\n`` newlines, no platform translation).
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(payload)
+    os.replace(tmp_path, path)
+    return path
+
+
 def write_json(path: str, data: object) -> str:
     """Write ``data`` as canonical JSON, atomically; returns the path.
 
     Canonical means sorted keys, two-space indentation, ``allow_nan``
     off and a trailing newline — byte-stable for deterministic inputs.
-    The tmp-file + rename dance guarantees readers never observe a
-    half-written file (the sweep treats file presence as completion).
+    Delegates to :func:`write_text` for the tmp-file + rename dance
+    (the sweep treats file presence as completion).
     """
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
     payload = json.dumps(data, indent=2, sort_keys=True, allow_nan=False) + "\n"
-    tmp_path = path + ".tmp"
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        handle.write(payload)
-    os.replace(tmp_path, path)
-    return path
+    return write_text(path, payload)
 
 
 def ms(value: Optional[float]) -> Optional[float]:

@@ -44,6 +44,7 @@ from repro.obs.manifest import (
     RunManifest,
     build_manifest,
     export_run,
+    git_provenance,
     graph_hash,
 )
 
@@ -84,5 +85,6 @@ __all__ = [
     "RunManifest",
     "build_manifest",
     "export_run",
+    "git_provenance",
     "graph_hash",
 ]

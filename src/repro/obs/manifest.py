@@ -54,6 +54,40 @@ def graph_hash(graph) -> str:
     return digest[:16]
 
 
+def git_provenance(cwd: Optional[str] = None) -> Optional[Dict[str, object]]:
+    """Best-effort git provenance of the working tree: commit/branch/dirty.
+
+    Returns ``None`` when git is unavailable or ``cwd`` is not inside a
+    repository — callers (the sweep's shard export, the run-history
+    index) treat provenance as optional. Deliberately *not* part of
+    :func:`build_manifest`'s defaults: plain manifests stay byte-stable
+    across commits (the golden runs pin them); provenance is merged via
+    the ``extra`` mechanism where wanted.
+    """
+    import subprocess
+
+    def _git(*args: str) -> Optional[str]:
+        try:
+            out = subprocess.run(
+                ("git",) + args, cwd=cwd, capture_output=True, text=True, timeout=10,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if out.returncode != 0:
+            return None
+        return out.stdout.strip()
+
+    commit = _git("rev-parse", "HEAD")
+    if not commit:
+        return None
+    status = _git("status", "--porcelain")
+    return {
+        "commit": commit,
+        "branch": _git("rev-parse", "--abbrev-ref", "HEAD"),
+        "dirty": bool(status),
+    }
+
+
 def _fault_plan_dict(plan) -> Optional[Dict[str, object]]:
     if plan is None or not plan:
         return None
@@ -85,11 +119,16 @@ class RunManifest:
         return json.dumps(self.data, indent=2, sort_keys=False, allow_nan=False)
 
     def write(self, path: str) -> str:
-        """Write the manifest; returns the path."""
-        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
-        with open(path, "w", encoding="utf-8") as f:
-            f.write(self.to_json() + "\n")
-        return path
+        """Write the manifest atomically; returns the path.
+
+        Routes through the canonical atomic text writer, so a crash
+        mid-export can never leave a half-written manifest behind (the
+        run-history index and sweep resume treat manifest presence as
+        truth). The byte layout is unchanged from the non-atomic writer.
+        """
+        from repro.experiments.report import write_text
+
+        return write_text(path, self.to_json() + "\n")
 
     @staticmethod
     def read(path: str) -> "RunManifest":

@@ -20,8 +20,10 @@ from repro.sweep.shard import ShardSpec, shard_key
 #: workload variants a shard can run (see shard.build_shard_pipeline):
 #: ``steady`` is the plain constant-rate pipeline, ``spike`` adds a
 #: deterministic service-time spike on the worker vertex, ``dropout``
-#: adds a QoS measurement dropout window.
-WORKLOADS = ("steady", "spike", "dropout")
+#: adds a QoS measurement dropout window, and ``twitter`` runs the
+#: paper's six-vertex TwitterSentiment job (diurnal rate + burst) scaled
+#: to the shard's rate/bound/duration.
+WORKLOADS = ("steady", "spike", "dropout", "twitter")
 
 #: bump when the grid layout changes incompatibly
 GRID_SCHEMA_VERSION = 1
@@ -96,6 +98,24 @@ class SweepGrid:
             workloads=("steady",),
             actuation=(False,),
             duration=8.0,
+        )
+
+    @classmethod
+    def twitter(cls) -> "SweepGrid":
+        """The paper's Twitter scenario as an evaluation grid.
+
+        Four seeds of the scaled-down TwitterSentiment job — the grid
+        behind the committed ``baselines/twitter.json`` evaluation
+        baseline (see :mod:`repro.evaluate`).
+        """
+        return cls(
+            name="twitter",
+            seeds=(1, 2, 3, 4),
+            rates=(240.0,),
+            bounds=(0.030,),
+            workloads=("twitter",),
+            actuation=(False,),
+            duration=40.0,
         )
 
     # ------------------------------------------------------------------

@@ -98,6 +98,50 @@ class ShardSpec:
         return f"ShardSpec({self.key})"
 
 
+#: per-workload (source vertex, sink vertex) names for recording feeds
+WORKLOAD_VERTICES = {"twitter": ("TweetSource", "Sink")}
+
+#: the default (linear chaos-style pipeline) source/sink vertex names
+DEFAULT_VERTICES = ("source", "sink")
+
+
+def _twitter_pipeline(spec: ShardSpec, export_dir: Optional[str]):
+    """The paper's TwitterSentiment job scaled to one shard's knobs.
+
+    Two synthetic "days" fit the shard duration; the load and topic
+    bursts sit at fixed fractions of the run (like the spike/dropout
+    variants) so every duration stays self-similar. ``spec.rate`` is the
+    *total* tweet rate across the two sources and ``spec.bound`` maps
+    onto the paper's sentiment constraint (constraint 1 keeps its
+    215 ms bound, dominated by the 200 ms HotTopics window).
+    """
+    from repro.actuation.config import ActuationConfig
+    from repro.builder import BuiltPipeline
+    from repro.obs.config import ObservabilityConfig
+    from repro.workloads.twitter_job import (
+        TwitterSentimentParams,
+        build_twitter_sentiment_job,
+    )
+
+    params = TwitterSentimentParams(
+        base_rate=spec.rate / 2.0,
+        period=spec.duration / 2.0,
+        bursts=((spec.duration * 0.5, spec.duration * 0.15, 2.5),),
+        topic_bursts=((spec.duration * 0.5, spec.duration * 0.65, 0, 0.8),),
+        sentiment_bound=spec.bound,
+    )
+    graph, constraints = build_twitter_sentiment_job(params)
+    observability = None
+    if export_dir is not None:
+        observability = ObservabilityConfig(export_dir=export_dir, pin_wall_time=True)
+    return BuiltPipeline(
+        graph,
+        constraints,
+        observability=observability,
+        actuation=ActuationConfig() if spec.actuation else None,
+    )
+
+
 def build_shard_pipeline(spec: ShardSpec, export_dir: Optional[str] = None):
     """The shard's elastic pipeline (mirrors the ``chaos`` CLI scenario)."""
     from repro.builder import PipelineBuilder
@@ -105,6 +149,8 @@ def build_shard_pipeline(spec: ShardSpec, export_dir: Optional[str] = None):
     from repro.simulation.randomness import Gamma
     from repro.workloads.rates import ConstantRate
 
+    if spec.workload == "twitter":
+        return _twitter_pipeline(spec, export_dir)
     builder = (
         PipelineBuilder(f"sweep-{spec.key}")
         .source(lambda now, rng: rng.random(), rate=ConstantRate(spec.rate))
@@ -149,16 +195,16 @@ def run_shard(spec: ShardSpec, export_dir: Optional[str] = None) -> Dict[str, ob
     """
     from repro.engine.engine import EngineConfig, StreamProcessingEngine
     from repro.experiments.recording import SeriesRecorder
-    from repro.obs.manifest import export_run, graph_hash
-    from repro.workloads.rates import ConstantRate
+    from repro.obs.manifest import export_run, git_provenance, graph_hash
 
     pipeline = build_shard_pipeline(spec, export_dir=export_dir)
+    source_vertex, sink_vertex = WORKLOAD_VERTICES.get(spec.workload, DEFAULT_VERTICES)
     engine = StreamProcessingEngine(EngineConfig(elastic=True, seed=spec.seed))
     recorder = SeriesRecorder(
-        engine, interval=5.0, source_vertex="source",
-        source_profile=ConstantRate(spec.rate),
+        engine, interval=5.0, source_vertex=source_vertex,
+        source_profile=pipeline.graph.vertex(source_vertex).rate_profile,
     )
-    recorder.add_sink_feed("e2e", "sink")
+    recorder.add_sink_feed("e2e", sink_vertex)
     job = engine.submit(pipeline)
     engine.run(spec.duration)
 
@@ -196,9 +242,16 @@ def run_shard(spec: ShardSpec, export_dir: Optional[str] = None) -> Dict[str, ob
         "series": recorder.summary(),
     }
     if export_dir is not None:
-        export_run(job, export_dir, extra={
+        extra: Dict[str, object] = {
             "sweep": {"shard": spec.key, "params": spec.params()},
-        })
+        }
+        # Git provenance lands only in the exported manifest (where the
+        # run-history index reads it), never in result.json — checkpoints
+        # must stay byte-identical across commits for the resume diff.
+        provenance = git_provenance()
+        if provenance is not None:
+            extra["git"] = provenance
+        export_run(job, export_dir, extra=extra)
     return result
 
 

@@ -63,6 +63,13 @@ class TestPublicApi:
             "repro.sweep.shard",
             "repro.sweep.orchestrator",
             "repro.sweep.report",
+            "repro.evaluate",
+            "repro.evaluate.metrics",
+            "repro.evaluate.tolerance",
+            "repro.evaluate.baseline",
+            "repro.evaluate.compare",
+            "repro.evaluate.render",
+            "repro.evaluate.history",
             "repro.cli",
         ],
     )

@@ -1,0 +1,197 @@
+"""Property-based tests (hypothesis) for the evaluation platform.
+
+The invariants the tolerance algebra promises:
+
+* relative bounds commute with positive metric scaling (rescaling a
+  metric's unit never changes a relative verdict) and absolute bounds
+  commute with translation;
+* the widened limit is monotone in the tolerance, and scales linearly
+  with the baseline under relative mode;
+* a suggested empirical tolerance always admits the run it was derived
+  from — including through the full compare/suggest pipeline over
+  synthetic multi-seed aggregates;
+* metric statistics are ordered (min <= p50 <= p95 <= max) and hygiene
+  counters account for every non-finite input.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.evaluate import (
+    Baseline,
+    Candidate,
+    ToleranceSpec,
+    compare_runs,
+    limit_value,
+    suggest_from_runs,
+    suggest_tolerance,
+    within_tolerance,
+)
+from repro.evaluate.metrics import MetricSeries
+
+finite = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+positive = st.floats(min_value=1e-3, max_value=1e6,
+                     allow_nan=False, allow_infinity=False)
+tolerances = st.floats(min_value=0.0, max_value=10.0,
+                       allow_nan=False, allow_infinity=False)
+directions = st.sampled_from(["lower", "higher"])
+modes = st.sampled_from(["relative", "absolute"])
+
+
+def _clear_of_limit(candidate, baseline, tolerance, mode, direction):
+    """Verdicts only count away from the float-rounding knife edge."""
+    limit = limit_value(baseline, tolerance, mode, direction)
+    return abs(candidate - limit) > 1e-6 * max(1.0, abs(limit), abs(candidate))
+
+
+class TestToleranceAlgebra:
+    @given(baseline=finite, candidate=finite, tolerance=tolerances,
+           scale=positive, direction=directions)
+    @settings(max_examples=200, deadline=None)
+    def test_relative_bounds_commute_with_positive_scaling(
+        self, baseline, candidate, tolerance, scale, direction
+    ):
+        assume(_clear_of_limit(candidate, baseline, tolerance, "relative", direction))
+        assume(_clear_of_limit(candidate * scale, baseline * scale, tolerance,
+                               "relative", direction))
+        original = within_tolerance(candidate, baseline, tolerance,
+                                    "relative", direction)
+        scaled = within_tolerance(candidate * scale, baseline * scale, tolerance,
+                                  "relative", direction)
+        assert original == scaled
+
+    @given(baseline=finite, candidate=finite, tolerance=tolerances,
+           shift=finite, direction=directions)
+    @settings(max_examples=200, deadline=None)
+    def test_absolute_bounds_commute_with_translation(
+        self, baseline, candidate, tolerance, shift, direction
+    ):
+        assume(_clear_of_limit(candidate, baseline, tolerance, "absolute", direction))
+        assume(_clear_of_limit(candidate + shift, baseline + shift, tolerance,
+                               "absolute", direction))
+        original = within_tolerance(candidate, baseline, tolerance,
+                                    "absolute", direction)
+        shifted = within_tolerance(candidate + shift, baseline + shift, tolerance,
+                                   "absolute", direction)
+        assert original == shifted
+
+    @given(baseline=finite, tolerance=tolerances, scale=positive,
+           direction=directions)
+    @settings(max_examples=200, deadline=None)
+    def test_relative_limit_scales_linearly_with_the_baseline(
+        self, baseline, tolerance, scale, direction
+    ):
+        limit = limit_value(baseline, tolerance, "relative", direction)
+        scaled = limit_value(baseline * scale, tolerance, "relative", direction)
+        assert math.isclose(scaled, limit * scale,
+                            rel_tol=1e-9, abs_tol=1e-9 * scale)
+
+    @given(baseline=finite, candidate=finite, direction=directions, mode=modes,
+           low=tolerances, high=tolerances)
+    @settings(max_examples=200, deadline=None)
+    def test_verdict_is_monotone_in_the_tolerance(
+        self, baseline, candidate, direction, mode, low, high
+    ):
+        low, high = min(low, high), max(low, high)
+        if within_tolerance(candidate, baseline, low, mode, direction):
+            assert within_tolerance(candidate, baseline, high, mode, direction)
+
+    @given(baseline=finite, direction=directions, mode=modes,
+           tolerance=tolerances)
+    @settings(max_examples=200, deadline=None)
+    def test_the_baseline_itself_always_passes(
+        self, baseline, direction, mode, tolerance
+    ):
+        assert within_tolerance(baseline, baseline, tolerance, mode, direction)
+
+
+class TestSuggestAdmits:
+    @given(baseline=finite, candidate=finite, direction=directions, mode=modes)
+    @settings(max_examples=300, deadline=None)
+    def test_suggested_tolerance_admits_its_own_run(
+        self, baseline, candidate, direction, mode
+    ):
+        suggested = suggest_tolerance(candidate, baseline, mode, direction)
+        if suggested is None:
+            # only the relative-around-zero-baseline dead end
+            assert mode == "relative" and baseline == 0.0
+            return
+        assert suggested >= 0.0
+        assert within_tolerance(candidate, baseline, suggested, mode, direction)
+
+    @given(
+        runs=st.lists(
+            st.lists(st.floats(min_value=1e-4, max_value=10.0,
+                               allow_nan=False, allow_infinity=False),
+                     min_size=2, max_size=5),
+            min_size=1, max_size=4,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pipeline_suggested_spec_admits_every_source_run(self, runs):
+        aggregates = [self._aggregate(latencies) for latencies in runs]
+        baseline = Baseline.from_aggregate("seed0", aggregates[0])
+        candidates = [
+            Candidate.from_aggregate(f"seed{i}", aggregate)
+            for i, aggregate in enumerate(aggregates)
+        ]
+        _, suggested = suggest_from_runs(baseline, candidates)
+        admitted = compare_runs(
+            baseline, candidates, tolerance=ToleranceSpec.from_dict(suggested)
+        )
+        assert admitted.passed, [c.describe() for c in admitted.failures()]
+
+    @staticmethod
+    def _aggregate(latencies):
+        shards = []
+        for i, latency in enumerate(latencies):
+            shards.append({
+                "key": f"s{i:04d}",
+                "constraints": [{"name": "e2e", "bound": 0.03,
+                                 "fulfillment_ratio": 1.0,
+                                 "violations": 0, "intervals": 8}],
+                "final_parallelism": {"worker": 4},
+                "series": {
+                    "feeds": {"e2e": {"mean_latency": latency,
+                                      "max_p95_latency": latency * 2}},
+                    "task_seconds": 100.0,
+                    "mean_cpu_utilization": 0.5,
+                },
+            })
+        return {"grid": {"name": "prop"}, "shards": shards}
+
+
+class TestMetricStatistics:
+    @given(
+        values=st.lists(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=-1e9, max_value=1e9,
+                          allow_nan=False, allow_infinity=False),
+                st.just(float("nan")),
+                st.just(float("inf")),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_stats_are_ordered_and_hygiene_adds_up(self, values):
+        series = MetricSeries("latency/prop", values)
+        present = [v for v in values if v is not None]
+        finite_count = sum(1 for v in present if math.isfinite(v))
+        assert len(series.values) == finite_count
+        assert series.dropped_non_finite == len(present) - finite_count
+        stats = series.stats()
+        assert stats["count"] == finite_count
+        if finite_count == 0:
+            assert stats["avg"] is None
+            return
+        assert stats["min"] <= stats["p50"] <= stats["p95"] <= stats["max"]
+        assert stats["min"] <= stats["avg"] <= stats["max"]
+        for value in (stats["avg"], stats["p50"], stats["p95"]):
+            assert math.isfinite(value)
