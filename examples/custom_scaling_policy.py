@@ -8,7 +8,9 @@ latency budget.
 
 This example (1) sizes a three-stage pipeline offline for several load
 levels, and (2) shows a custom policy subclass that pads every Rebalance
-decision with one standby task per vertex (a common "headroom" variant).
+decision with one standby task per vertex (a common "headroom" variant),
+registered in the policy registry so jobs select it by name like any
+built-in (see ``repro.core.policy``).
 
 Run:  python examples/custom_scaling_policy.py
 """
@@ -20,6 +22,7 @@ from repro import (
     kingman_waiting_time,
     rebalance,
 )
+from repro.core.policy import PolicyContext, register_policy
 
 
 def offline_capacity_planning() -> None:
@@ -65,22 +68,36 @@ def kingman_sanity_check() -> None:
 
 
 class HeadroomPolicy(ScaleReactivelyPolicy):
-    """ScaleReactively with one standby task of headroom per vertex.
+    """ScaleReactively with standby tasks of headroom per vertex.
 
     A minimal example of customizing the paper's Algorithm 2: decisions
     are computed exactly as in the paper, then padded to absorb small
     bursts without a reactive round trip.
     """
 
+    name = "headroom"
+
     def __init__(self, constraints, headroom: int = 1, **kwargs):
         super().__init__(constraints, **kwargs)
         self.headroom = headroom
+
+    def knobs(self):
+        merged = dict(super().knobs())
+        merged["headroom"] = self.headroom
+        return merged
 
     def decide(self, summary, current_parallelism):
         decision = super().decide(summary, current_parallelism)
         for name in list(decision.parallelism):
             decision.parallelism[name] += self.headroom
         return decision
+
+
+# Registering makes "headroom" selectable anywhere a policy name is
+# accepted: builder.scale(), engine.submit(policy=...), --policy flags.
+@register_policy(HeadroomPolicy.name)
+def _build_headroom(context: PolicyContext, **knobs) -> HeadroomPolicy:
+    return HeadroomPolicy(context.constraints, **knobs)
 
 
 def custom_policy_demo() -> None:
@@ -95,9 +112,7 @@ def custom_policy_demo() -> None:
     graph, profile = build_primetester_job(params)
     constraint = primetester_constraint(graph, 0.025)
     engine = StreamProcessingEngine(EngineConfig.nephele_adaptive(elastic=True))
-    engine.submit(graph, [constraint])
-    # Swap the policy on the live scaler for the padded variant.
-    engine.scaler.policy = HeadroomPolicy([constraint], headroom=1)
+    engine.submit(graph, [constraint], policy="headroom:headroom=1")
     engine.run(profile.end_time + params.step_duration)
     tracker = engine.trackers[0]
     print("custom HeadroomPolicy on PrimeTester:")

@@ -26,10 +26,12 @@ the declared constraints, ready for
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.actuation.config import ActuationConfig
 from repro.core.constraints import LatencyConstraint
+from repro.core.policy import PolicySpec, parse_policy_spec
 from repro.engine.udf import FilterUDF, FlatMapUDF, MapUDF, SinkUDF, SourceUDF, UDF
 from repro.obs.config import ObservabilityConfig
 from repro.graphs.job_graph import JobGraph, JobVertex
@@ -52,6 +54,7 @@ class BuiltPipeline:
         fault_plan: Optional[FaultPlan] = None,
         observability: Optional[ObservabilityConfig] = None,
         actuation: Optional[ActuationConfig] = None,
+        policy: Optional[PolicySpec] = None,
     ) -> None:
         self.graph = graph
         self.constraints = constraints
@@ -63,12 +66,24 @@ class BuiltPipeline:
         #: actuation supervision for this job (None = synchronous
         #: rescaling, unless the engine config sets its own default)
         self.actuation = actuation
+        #: scaling-policy spec from ``.scale(...)`` (None = the engine
+        #: config decides; a set spec implies elasticity for this job)
+        self.policy = policy
 
     def submit_to(self, engine):
-        """Convenience delegate for ``engine.submit(self)``.
+        """Deprecated delegate for ``engine.submit(self)``.
+
+        .. deprecated::
+            Use ``engine.submit(pipeline)`` — the one submission API.
 
         Returns the :class:`~repro.engine.engine.DeployedJob` handle.
         """
+        warnings.warn(
+            "BuiltPipeline.submit_to(engine) is deprecated; "
+            "use engine.submit(pipeline) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return engine.submit(self)
 
     def __repr__(self) -> str:
@@ -101,6 +116,7 @@ class PipelineBuilder:
         self._fault_seed = 0
         self._observability: Optional[ObservabilityConfig] = None
         self._actuation: Optional[ActuationConfig] = None
+        self._policy: Optional[PolicySpec] = None
 
     # ------------------------------------------------------------------
     # stages
@@ -313,6 +329,27 @@ class PipelineBuilder:
         self._actuation = config if config is not None else ActuationConfig(**kwargs)
         return self
 
+    def scale(self, policy: str = "scale-reactively", **knobs) -> "PipelineBuilder":
+        """Select the pipeline's scaling policy (implies elasticity).
+
+        ``policy`` is a registry name or full spec string — resolved
+        through :mod:`repro.core.policy`, so the same names work here,
+        on the ``--policy`` CLI flags and on sweep grids. Keyword
+        arguments become policy knobs (overriding any knobs embedded in
+        the spec string):
+
+        >>> _ = PipelineBuilder("p").scale("drs", target_fraction=0.9)
+        >>> _ = PipelineBuilder("p").scale("cpu-threshold:high=0.85")
+
+        Unknown policy names raise ``ValueError`` immediately; unknown
+        knobs fail at submit, when the policy is constructed.
+        """
+        spec = parse_policy_spec(policy)
+        merged = dict(spec.knobs)
+        merged.update(knobs)
+        self._policy = PolicySpec(spec.name, merged)
+        return self
+
     def build(self) -> BuiltPipeline:
         """Validate and return the built pipeline."""
         if self._source is None:
@@ -339,4 +376,5 @@ class PipelineBuilder:
             fault_plan=plan,
             observability=self._observability,
             actuation=self._actuation,
+            policy=self._policy,
         )

@@ -14,9 +14,11 @@ Commands
     spike) and report how the scaler degraded gracefully.
 ``sweep``
     Expand a declarative grid (seeds × rates × bounds × workloads ×
-    actuation) into shards and run them across a crash-isolated worker
-    process pool with checkpointed resume (``--resume``) and a
-    deterministic byte-identical merged aggregate.
+    actuation × policies) into shards and run them across a
+    crash-isolated worker process pool with checkpointed resume
+    (``--resume``) and a deterministic byte-identical merged aggregate;
+    ``--tournament`` runs the built-in policy-tournament grid and
+    repeatable ``--policy`` flags form the policy axis.
 ``trace generate`` / ``trace info``
     Synthesize or inspect rate traces (the stand-in for the paper's
     two-week Twitter replay).
@@ -32,7 +34,9 @@ Commands
     (see :mod:`repro.evaluate`): exit 0 when every metric statistic is
     in tolerance, 1 otherwise (naming the offending metrics);
     ``--suggest`` derives the empirical tolerance spec that would admit
-    the given runs, ``--write-baseline`` pins a new baseline file.
+    the given runs, ``--write-baseline`` pins a new baseline file, and
+    ``--scoreboard`` renders the per-policy tournament scoreboard
+    (violation rate / task hours / reaction time) baseline-free.
 ``runs``
     Index exported run artifacts (sweeps, shards, plain observability
     exports) under a root into stable ids that ``compare --index`` can
@@ -51,6 +55,37 @@ import repro
 from repro.workloads.traces import generate_diurnal_trace, load_trace, save_trace
 
 EXPERIMENTS = ("fig3", "fig5", "fig6", "fig8", "sensitivity", "validation", "policies")
+
+
+def _policy_spec(text: str) -> str:
+    """argparse type for ``--policy NAME[:key=val,...]`` flags.
+
+    The one policy-spec parser of the CLI: every command resolves the
+    flag through :func:`repro.core.policy.parse_policy_spec`, so the
+    accepted syntax (and the unknown-name error) is identical across
+    ``run``, ``chaos`` and ``sweep``.
+    """
+    from repro.core.policy import parse_policy_spec
+
+    try:
+        return parse_policy_spec(text).canonical()
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _add_policy_flag(parser: argparse.ArgumentParser, repeatable: bool = False) -> None:
+    """Attach the shared ``--policy NAME[:key=val,...]`` flag."""
+    if repeatable:
+        parser.add_argument(
+            "--policy", metavar="SPEC", type=_policy_spec, action="append",
+            default=None, dest="policies",
+            help="scaling policy spec NAME[:key=val,...]; repeat to sweep "
+                 "a policy axis (default: the grid's, or scale-reactively)")
+    else:
+        parser.add_argument(
+            "--policy", metavar="SPEC", type=_policy_spec, default=None,
+            help="scaling policy spec NAME[:key=val,...] from the policy "
+                 "registry (default: scale-reactively)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=7, help="engine seed")
     run.add_argument("--obs-dir", metavar="DIR", default="obs-run",
                      help="export directory for manifest/metrics/trace")
+    _add_policy_flag(run)
 
     chaos = sub.add_parser("chaos", help="run a deterministic fault-injection scenario")
     chaos.add_argument("--duration", type=float, default=120.0, help="virtual seconds to run")
@@ -106,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--pin-wall-time", action="store_true",
                        help="write wall_time_s=0.0 into the exported manifest so "
                             "same-seed runs diff byte-for-byte")
+    _add_policy_flag(chaos)
 
     sweep = sub.add_parser(
         "sweep", help="run a seed/workload/knob grid across worker processes"
@@ -135,6 +172,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-shard retries after a worker crash")
     sweep.add_argument("--out", metavar="DIR", default="sweep-out",
                        help="checkpoint/aggregate directory")
+    _add_policy_flag(sweep, repeatable=True)
+    sweep.add_argument("--tournament", action="store_true",
+                       help="the built-in 10-shard policy-tournament grid "
+                            "(5 policies x 2 seeds, see SweepGrid.tournament)")
 
     trace = sub.add_parser("trace", help="rate traces and scaler decision traces")
     trace.add_argument("--check", action="store_true",
@@ -173,9 +214,14 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("runs", nargs="+", metavar="RUN",
                       help="sweep output dir, aggregate.json, baseline-format "
                            "file, or (with --index) a run-history id")
-    comp.add_argument("--baseline", metavar="FILE", default="baselines/twitter.json",
+    comp.add_argument("--baseline", metavar="FILE", default=None,
                       help="baseline file to gate against "
-                           "(default: baselines/twitter.json)")
+                           "(default: baselines/twitter.json, unless "
+                           "--scoreboard runs baseline-free)")
+    comp.add_argument("--scoreboard", action="store_true",
+                      help="render the per-policy tournament scoreboard "
+                           "(violation rate, task hours, reaction time) "
+                           "from the first RUN's shards")
     comp.add_argument("--tolerance", metavar="FILE", default=None,
                       help="tolerance spec file overriding the baseline's own")
     comp.add_argument("--suggest", action="store_true",
@@ -266,21 +312,24 @@ def _run_obs(args: argparse.Namespace) -> None:
     from repro.simulation.randomness import Gamma
     from repro.workloads.rates import ConstantRate
 
-    pipeline = (
+    builder = (
         PipelineBuilder("obs-run")
         .source(lambda now, rng: rng.random(), rate=ConstantRate(args.rate))
         .map("worker", lambda x: x, service=Gamma(0.004, 0.7), parallelism=(4, 1, 32))
         .sink()
         .constrain(bound=args.bound, name="e2e")
         .observe(export_dir=args.obs_dir)
-        .build()
     )
+    if args.policy is not None:
+        builder.scale(args.policy)
+    pipeline = builder.build()
     engine = StreamProcessingEngine(EngineConfig(elastic=True, seed=args.seed))
     job = engine.submit(pipeline)
     engine.run(args.duration)
 
+    policy_note = f", policy={args.policy}" if args.policy is not None else ""
     print(f"run: {args.duration:.0f}s, rate={args.rate:.0f}/s, "
-          f"bound={args.bound * 1000:.0f}ms, seed={args.seed}")
+          f"bound={args.bound * 1000:.0f}ms, seed={args.seed}{policy_note}")
     print(f"final parallelism: "
           f"{ {name: rv.parallelism for name, rv in job.runtime.vertices.items()} }")
     scaler = job.scaler
@@ -364,12 +413,16 @@ def _csv_list(text: str, convert) -> list:
 def _build_sweep_grid(args: argparse.Namespace):
     from repro.sweep import SweepGrid
 
-    if args.grid is not None and args.quick:
-        raise SystemExit("pass either --grid FILE or --quick, not both")
+    built_ins = [flag for flag in ("--grid", "--quick", "--tournament")
+                 if getattr(args, flag.lstrip("-"), None)]
+    if len(built_ins) > 1:
+        raise SystemExit(f"pass only one of {', '.join(built_ins)}")
     if args.grid is not None:
         grid = SweepGrid.from_file(args.grid)
     elif args.quick:
         grid = SweepGrid.quick()
+    elif args.tournament:
+        grid = SweepGrid.tournament()
     else:
         grid = SweepGrid()
     overrides = {}
@@ -387,6 +440,8 @@ def _build_sweep_grid(args: argparse.Namespace):
         }[args.actuation]
     if args.duration is not None:
         overrides["duration"] = args.duration
+    if args.policies:
+        overrides["policies"] = list(args.policies)
     if overrides:
         base = grid.describe()
         base.pop("shards", None)
@@ -482,8 +537,10 @@ def _run_compare(args: argparse.Namespace) -> int:
         Baseline,
         RunIndex,
         ToleranceSpec,
+        build_scoreboard,
         compare_runs,
         render_comparison,
+        render_scoreboard,
         suggest_from_runs,
         write_comparison_html,
     )
@@ -498,12 +555,19 @@ def _run_compare(args: argparse.Namespace) -> int:
             print(f"cannot load tolerance spec {args.tolerance!r}: {exc}")
             return 2
 
+    # --scoreboard with no explicit --baseline runs baseline-free; every
+    # other invocation gates against the committed default baseline.
+    baseline_path = args.baseline
+    if baseline_path is None and not args.scoreboard:
+        baseline_path = "baselines/twitter.json"
     baseline = None
-    if os.path.exists(args.baseline) or args.write_baseline is None:
+    if baseline_path is not None and (
+        os.path.exists(baseline_path) or args.write_baseline is None
+    ):
         try:
-            baseline = Baseline.read(args.baseline)
+            baseline = Baseline.read(baseline_path)
         except (OSError, ValueError) as exc:
-            print(f"cannot load baseline {args.baseline!r}: {exc}")
+            print(f"cannot load baseline {baseline_path!r}: {exc}")
             return 2
 
     index = None
@@ -521,6 +585,21 @@ def _run_compare(args: argparse.Namespace) -> int:
             return 2
     candidates = [_run_candidate(name, data) for name, data in loaded]
 
+    scoreboard = None
+    if args.scoreboard:
+        name, data = loaded[0]
+        try:
+            scoreboard = build_scoreboard(data)
+        except ValueError as exc:
+            print(f"cannot build scoreboard from {name!r}: {exc}")
+            return 2
+        print(f"policy tournament scoreboard ({name}, "
+              f"{scoreboard['shards']} shards):")
+        print()
+        print(render_scoreboard(scoreboard))
+        if baseline is not None:
+            print()
+
     failed = False
     suggested = None
     if baseline is not None:
@@ -531,6 +610,8 @@ def _run_compare(args: argparse.Namespace) -> int:
         report = comparison.to_dict(suggest=args.suggest)
         if suggested is not None:
             report["suggested_tolerance"] = suggested
+        if scoreboard is not None:
+            report["scoreboard"] = scoreboard
         if args.json is not None:
             print(f"comparison: {write_json(args.json, report)}")
         if args.html is not None:
@@ -544,6 +625,8 @@ def _run_compare(args: argparse.Namespace) -> int:
             print()
             print("out-of-tolerance metrics: "
                   + ", ".join(comparison.failed_metrics()))
+    elif scoreboard is not None and args.json is not None:
+        print(f"scoreboard: {write_json(args.json, scoreboard)}")
     if args.write_baseline is not None:
         name, data = loaded[0]
         pin_tolerance = None
@@ -593,6 +676,8 @@ def _run_chaos(args: argparse.Namespace) -> None:
         .sink()
         .constrain(bound=args.bound)
     )
+    if args.policy is not None:
+        builder.scale(args.policy)
     if args.crash_at >= 0:
         builder.inject(
             TaskCrash(at=args.crash_at, vertex="worker", restart_delay=args.restart_delay)

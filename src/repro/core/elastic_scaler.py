@@ -1,7 +1,8 @@
 """The Elastic Scaler (master-side driver; paper Sec. IV-B and V).
 
-Consumes each adjustment interval's fresh global summary, runs
-:class:`~repro.core.scale_reactively.ScaleReactivelyPolicy`, and issues
+Consumes each adjustment interval's fresh global summary, runs the
+attached :class:`~repro.core.policy.ScalingPolicy` (the paper's
+ScaleReactively by default — any registered policy plugs in), and issues
 the resulting scaling actions to the scheduler. Implements the paper's
 post-scale-up *inactivity phase*: after starting new tasks the scaler
 stays inactive for a configurable number of adjustment intervals, because
@@ -15,7 +16,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
 
-from repro.core.scale_reactively import ScaleReactivelyPolicy, ScalingDecision
+from repro.core.policy import PolicyRoundContext, ScalingPolicy
+from repro.core.scale_reactively import ScalingDecision
 from repro.obs.trace import (
     BRANCH_ACTUATION_PENDING,
     BRANCH_COOLDOWN,
@@ -55,7 +57,7 @@ class ElasticScaler:
         sim: Simulator,
         scheduler: "Scheduler",
         runtime: "RuntimeGraph",
-        policy: ScaleReactivelyPolicy,
+        policy: ScalingPolicy,
         adjustment_interval: float = 5.0,
         inactivity_intervals: int = 2,
         recovery_cooldown: float = 15.0,
@@ -120,6 +122,17 @@ class ElasticScaler:
         return getattr(graph, "name", "") if graph is not None else ""
 
     @property
+    def policy_name(self) -> str:
+        """The attached policy's registry name (type name as fallback)."""
+        return getattr(self.policy, "name", type(self.policy).__name__)
+
+    def _observe(self, summary: GlobalSummary, decision: ScalingDecision, applied: Dict[str, int]) -> None:
+        """Feed the optional policy ``observe`` hook after an active round."""
+        observe = getattr(self.policy, "observe", None)
+        if observe is not None:
+            observe(PolicyRoundContext(self.sim.now, summary, decision, applied))
+
+    @property
     def inactive(self) -> bool:
         """Whether the scaler is inside a post-scale-up inactivity phase."""
         return self.sim.now < self._inactive_until
@@ -166,6 +179,7 @@ class ElasticScaler:
             self.unresolvable_log.append((self.sim.now, name))
         if not decision.has_actions:
             self._emit(decision.trace)
+            self._observe(summary, decision, {})
             return decision
         from repro.engine.resources import InsufficientResourcesError
 
@@ -250,6 +264,7 @@ class ElasticScaler:
         self._emit(decision.trace + extra_records)
         reason = "bottleneck" if decision.bottleneck_constraints else "rebalance"
         self.events.append(ScalingEvent(self.sim.now, dict(decision.parallelism), applied, reason))
+        self._observe(summary, decision, applied)
         if scaled_up:
             # Inactivity counts from when the new tasks actually start.
             self._inactive_until = (

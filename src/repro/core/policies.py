@@ -7,10 +7,11 @@ systems whose policies are *utilization-* or *rate-based*:
   CPU utilization threshold" — :class:`CpuThresholdPolicy`;
 * Sattler & Beier propose rate-based elasticity — :class:`RateBasedPolicy`.
 
-Both are implemented against the same ``decide(summary, current)``
-interface as :class:`~repro.core.scale_reactively.ScaleReactivelyPolicy`,
-so they plug into the :class:`~repro.core.elastic_scaler.ElasticScaler`
-unchanged. The benchmark suite compares them against the paper's policy:
+Both satisfy the formal :class:`~repro.core.policy.ScalingPolicy`
+protocol, so they plug into the
+:class:`~repro.core.elastic_scaler.ElasticScaler` unchanged and are
+constructible by name through the policy registry (``cpu-threshold``,
+``rate``). The benchmark suite compares them against the paper's policy:
 they prevent bottlenecks but — exactly as the paper argues — do not
 control *latency*, because "which particular stream rates or CPU load
 thresholds lead to a particular latency ... is not in the scope of these
@@ -20,11 +21,17 @@ policies".
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, Optional
 
+from repro.core.policy import PolicyContext, register_policy
 from repro.core.scale_reactively import ScalingDecision
 from repro.graphs.job_graph import JobVertex
-from repro.qos.summary import GlobalSummary
+from repro.qos.summary import GlobalSummary, VertexSummary
+
+
+def _is_stale(vs: VertexSummary, threshold: Optional[float]) -> bool:
+    """Whether a vertex's measurements exceed the staleness threshold."""
+    return threshold is not None and vs.staleness > threshold
 
 
 class CpuThresholdPolicy:
@@ -40,7 +47,14 @@ class CpuThresholdPolicy:
         ``low`` it is shrunk towards ``target``.
     target:
         Desired post-action utilization.
+    staleness_threshold:
+        Refuse to act on measurements older than this many seconds
+        (``None``, the default, disables the gate — threshold policies
+        historically acted on whatever the windows held).
     """
+
+    #: registry name (see :mod:`repro.core.policy`)
+    name = "cpu-threshold"
 
     def __init__(
         self,
@@ -48,13 +62,28 @@ class CpuThresholdPolicy:
         high: float = 0.8,
         low: float = 0.3,
         target: float = 0.6,
+        staleness_threshold: Optional[float] = None,
     ) -> None:
         if not 0.0 < low < target < high <= 1.0:
             raise ValueError("need 0 < low < target < high <= 1")
+        if staleness_threshold is not None and staleness_threshold <= 0:
+            raise ValueError(
+                f"staleness_threshold must be > 0 seconds or None (got {staleness_threshold})"
+            )
         self.vertices = list(vertices)
         self.high = high
         self.low = low
         self.target = target
+        self.staleness_threshold = staleness_threshold
+
+    def knobs(self) -> Dict[str, object]:
+        """Declared tuning parameters (JSON-serializable, for manifests)."""
+        return {
+            "high": self.high,
+            "low": self.low,
+            "target": self.target,
+            "staleness_threshold": self.staleness_threshold,
+        }
 
     def decide(self, summary: GlobalSummary, current_parallelism: Dict[str, int]) -> ScalingDecision:
         """One reactive round: threshold comparison per managed vertex."""
@@ -63,6 +92,10 @@ class CpuThresholdPolicy:
             vs = summary.vertex(vertex.name)
             if vs is None:
                 decision.skipped_constraints.append(vertex.name)
+                continue
+            if _is_stale(vs, self.staleness_threshold):
+                decision.skipped_constraints.append(vertex.name)
+                decision.stale_constraints.append(vertex.name)
                 continue
             p = max(1, current_parallelism.get(vertex.name, vertex.parallelism))
             rho = vs.utilization
@@ -82,11 +115,31 @@ class RateBasedPolicy:
     rate-driven elasticity (e.g. Sattler & Beier [13]).
     """
 
-    def __init__(self, vertices: Iterable[JobVertex], headroom: float = 0.3) -> None:
+    #: registry name (aliased as ``rate-based``)
+    name = "rate"
+
+    def __init__(
+        self,
+        vertices: Iterable[JobVertex],
+        headroom: float = 0.3,
+        staleness_threshold: Optional[float] = None,
+    ) -> None:
         if headroom < 0:
             raise ValueError("headroom must be >= 0")
+        if staleness_threshold is not None and staleness_threshold <= 0:
+            raise ValueError(
+                f"staleness_threshold must be > 0 seconds or None (got {staleness_threshold})"
+            )
         self.vertices = list(vertices)
         self.headroom = headroom
+        self.staleness_threshold = staleness_threshold
+
+    def knobs(self) -> Dict[str, object]:
+        """Declared tuning parameters (JSON-serializable, for manifests)."""
+        return {
+            "headroom": self.headroom,
+            "staleness_threshold": self.staleness_threshold,
+        }
 
     def decide(self, summary: GlobalSummary, current_parallelism: Dict[str, int]) -> ScalingDecision:
         """One reactive round: rate-proportional sizing per vertex."""
@@ -95,6 +148,10 @@ class RateBasedPolicy:
             vs = summary.vertex(vertex.name)
             if vs is None:
                 decision.skipped_constraints.append(vertex.name)
+                continue
+            if _is_stale(vs, self.staleness_threshold):
+                decision.skipped_constraints.append(vertex.name)
+                decision.stale_constraints.append(vertex.name)
                 continue
             p = max(1, current_parallelism.get(vertex.name, vertex.parallelism))
             total_rate = vs.arrival_rate * p
@@ -107,6 +164,28 @@ class RateBasedPolicy:
 class StaticPolicy:
     """Never scales — the unelastic null policy (for experiments)."""
 
+    #: registry name (see :mod:`repro.core.policy`)
+    name = "static"
+
+    def knobs(self) -> Dict[str, object]:
+        """No tuning parameters."""
+        return {}
+
     def decide(self, summary: GlobalSummary, current_parallelism: Dict[str, int]) -> ScalingDecision:
         """Always returns an empty decision."""
         return ScalingDecision()
+
+
+@register_policy(CpuThresholdPolicy.name)
+def _build_cpu_threshold(context: PolicyContext, **knobs) -> CpuThresholdPolicy:
+    return CpuThresholdPolicy(context.vertices, **knobs)
+
+
+@register_policy(RateBasedPolicy.name, "rate-based")
+def _build_rate_based(context: PolicyContext, **knobs) -> RateBasedPolicy:
+    return RateBasedPolicy(context.vertices, **knobs)
+
+
+@register_policy(StaticPolicy.name)
+def _build_static(context: PolicyContext, **knobs) -> StaticPolicy:
+    return StaticPolicy(**knobs)

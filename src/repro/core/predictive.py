@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.constraints import LatencyConstraint
+from repro.core.policy import PolicyContext, register_policy
 from repro.core.scale_reactively import ScaleReactivelyPolicy, ScalingDecision
 from repro.qos.summary import GlobalSummary, VertexSummary
 
@@ -68,6 +69,9 @@ class PredictiveScaleReactivelyPolicy(ScaleReactivelyPolicy):
     drop would gamble with the constraint).
     """
 
+    #: registry name (overrides the reactive parent's)
+    name = "predictive"
+
     def __init__(
         self,
         constraints: List[LatencyConstraint],
@@ -85,6 +89,14 @@ class PredictiveScaleReactivelyPolicy(ScaleReactivelyPolicy):
         self._forecasters: Dict[str, HoltForecaster] = {}
         #: (vertex, measured_total_rate, forecast_total_rate) per round
         self.forecast_log: List[Tuple[str, float, float]] = []
+
+    def knobs(self) -> Dict[str, object]:
+        """Reactive knobs plus the forecasting parameters."""
+        declared = super().knobs()
+        declared.update(
+            {"horizon": self.horizon, "alpha": self._alpha, "beta": self._beta}
+        )
+        return declared
 
     def decide(
         self,
@@ -126,3 +138,16 @@ class PredictiveScaleReactivelyPolicy(ScaleReactivelyPolicy):
                 n_tasks=vs.n_tasks,
             )
         return projected
+
+
+@register_policy(PredictiveScaleReactivelyPolicy.name)
+def _build_predictive(context: PolicyContext, **knobs) -> PredictiveScaleReactivelyPolicy:
+    """Factory: reactive defaults from the engine config, forecast knobs on top."""
+    params: Dict[str, object] = {
+        "w_fraction": context.w_fraction,
+        "rho_max": context.rho_max,
+        "e_bounds": context.e_bounds,
+        "staleness_threshold": context.staleness_threshold,
+    }
+    params.update(knobs)
+    return PredictiveScaleReactivelyPolicy(context.constraints, **params)

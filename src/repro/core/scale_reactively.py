@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.bottlenecks import find_bottlenecks, resolve_bottlenecks
 from repro.core.constraints import LatencyConstraint
 from repro.core.latency_model import build_sequence_model
+from repro.core.policy import PolicyContext, register_policy
 from repro.core.rebalance import rebalance
 from repro.obs.trace import (
     BRANCH_BOTTLENECK,
@@ -76,6 +77,9 @@ class ScalingDecision:
 class ScaleReactivelyPolicy:
     """Algorithm 2 over a fixed set of latency constraints."""
 
+    #: registry name (see :mod:`repro.core.policy`)
+    name = "scale-reactively"
+
     def __init__(
         self,
         constraints: List[LatencyConstraint],
@@ -100,6 +104,15 @@ class ScaleReactivelyPolicy:
         #: refuse to act on measurements older than this many seconds
         #: (None disables the gate)
         self.staleness_threshold = staleness_threshold
+
+    def knobs(self) -> Dict[str, object]:
+        """Declared tuning parameters (JSON-serializable, for manifests)."""
+        return {
+            "w_fraction": self.w_fraction,
+            "rho_max": self.rho_max,
+            "e_bounds": list(self.e_bounds),
+            "staleness_threshold": self.staleness_threshold,
+        }
 
     def decide(
         self,
@@ -234,3 +247,16 @@ class ScaleReactivelyPolicy:
             if vs is not None and vs.staleness > self.staleness_threshold:
                 return True
         return False
+
+
+@register_policy(ScaleReactivelyPolicy.name)
+def _build_scale_reactively(context: PolicyContext, **knobs) -> ScaleReactivelyPolicy:
+    """Factory: paper defaults come from the job's engine config."""
+    params: Dict[str, object] = {
+        "w_fraction": context.w_fraction,
+        "rho_max": context.rho_max,
+        "e_bounds": context.e_bounds,
+        "staleness_threshold": context.staleness_threshold,
+    }
+    params.update(knobs)
+    return ScaleReactivelyPolicy(context.constraints, **params)

@@ -24,7 +24,12 @@ from repro.actuation.reconciler import ReconciliationController
 from repro.core.batching_policy import AdaptiveBatchingPolicy
 from repro.core.constraints import ConstraintTracker, LatencyConstraint
 from repro.core.elastic_scaler import ElasticScaler
-from repro.core.scale_reactively import ScaleReactivelyPolicy
+from repro.core.policy import (
+    DEFAULT_POLICY,
+    PolicyContext,
+    PolicySpec,
+    parse_policy_spec,
+)
 from repro.engine.batching import (
     AdaptiveDeadlineBatching,
     BatchingStrategy,
@@ -78,6 +83,10 @@ class EngineConfig:
     qos_managers: int = 4
     #: whether the elastic scaler runs (the paper's strategy)
     elastic: bool = False
+    #: scaling policy spec — a registry name with optional knobs, e.g.
+    #: ``"scale-reactively"`` or ``"drs:target_fraction=0.9"`` (see
+    #: :mod:`repro.core.policy`); None = the paper's default policy
+    policy: Optional[str] = None
     #: queue-wait share of the constraint slack (paper: 20 %)
     w_fraction: float = 0.2
     #: bottleneck utilization threshold (a value close to 1)
@@ -159,6 +168,7 @@ class DeployedJob:
         vertex_probes: Dict[str, Callable[[float, object], None]],
         fault_plan: Optional[FaultPlan] = None,
         actuation: Optional[ActuationConfig] = None,
+        policy: Optional[object] = None,
     ) -> None:
         DeployedJob._ids += 1
         self.job_id = DeployedJob._ids
@@ -211,20 +221,28 @@ class DeployedJob:
         self.trace: Optional[DecisionTrace] = None
         if obs is not None and obs.trace:
             self.trace = DecisionTrace()
+        # Per-job policy (from the pipeline builder / submit) wins over
+        # the engine-wide EngineConfig.policy; both are registry specs.
+        # A job-level policy implies elasticity for this job even when
+        # the engine default is unelastic — `.scale(...)` means "scale".
+        effective_policy = policy if policy is not None else config.policy
+        #: the scaling-policy spec this job runs (None = unelastic job)
+        self.policy_spec: Optional[PolicySpec] = None
         self.scaler: Optional[ElasticScaler] = None
-        if config.elastic and self.constraints:
-            policy = ScaleReactivelyPolicy(
-                self.constraints,
-                w_fraction=config.w_fraction,
-                rho_max=config.rho_max,
-                e_bounds=config.e_bounds,
-                staleness_threshold=config.staleness_threshold,
+        wants_scaler = (config.elastic or policy is not None) and (
+            self.constraints or effective_policy is not None
+        )
+        if wants_scaler:
+            spec = parse_policy_spec(
+                effective_policy if effective_policy is not None else DEFAULT_POLICY
             )
+            self.policy_spec = spec
+            context = PolicyContext.for_job(job_graph, self.constraints, config)
             self.scaler = ElasticScaler(
                 engine.sim,
                 self.scheduler,
                 self.runtime,
-                policy,
+                spec.build(context),
                 adjustment_interval=config.adjustment_interval,
                 inactivity_intervals=config.inactivity_intervals,
                 recovery_cooldown=config.recovery_cooldown,
@@ -508,6 +526,7 @@ class StreamProcessingEngine:
         constraints: Sequence[LatencyConstraint] = (),
         fault_plan: Optional[FaultPlan] = None,
         actuation: Optional[ActuationConfig] = None,
+        policy: Optional[object] = None,
     ) -> DeployedJob:
         """Deploy a job and start its master control loop.
 
@@ -520,15 +539,21 @@ class StreamProcessingEngine:
         ``fault_plan`` arms a deterministic chaos scenario against the
         job (see :mod:`repro.simulation.faults`); the armed injector is
         available as ``DeployedJob.fault_injector``.
+
+        ``policy`` selects the job's scaling policy — a registry spec
+        string (``"drs:target_fraction=0.9"``) or a
+        :class:`~repro.core.policy.PolicySpec`. Passing one implies
+        elasticity for this job; None keeps the engine config's policy
+        (the paper's ScaleReactively by default).
         """
         from repro.builder import BuiltPipeline
 
         if isinstance(job_graph, BuiltPipeline):
             pipeline = job_graph
-            if constraints or fault_plan is not None or actuation is not None:
+            if constraints or fault_plan is not None or actuation is not None or policy is not None:
                 raise TypeError(
                     "submit(pipeline) takes no separate constraints/fault_plan/"
-                    "actuation — they are part of the BuiltPipeline"
+                    "actuation/policy — they are part of the BuiltPipeline"
                 )
             if self.observability is None and pipeline.observability is not None:
                 self.observability = pipeline.observability
@@ -538,6 +563,7 @@ class StreamProcessingEngine:
             constraints = pipeline.constraints
             fault_plan = pipeline.fault_plan
             actuation = pipeline.actuation
+            policy = pipeline.policy
         for job in self.jobs:
             if job.job_graph is job_graph:
                 raise RuntimeError("this job graph is already deployed")
@@ -545,7 +571,7 @@ class StreamProcessingEngine:
         probes, self._pending_probes = self._pending_probes, {}
         job = DeployedJob(
             self, job_graph, constraints, probes,
-            fault_plan=fault_plan, actuation=actuation,
+            fault_plan=fault_plan, actuation=actuation, policy=policy,
         )
         self.jobs.append(job)
         return job

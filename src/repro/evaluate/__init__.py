@@ -18,6 +18,10 @@ platform in the spirit of performance-test baseline/tolerance harnesses:
   a deterministic machine-readable :class:`Comparison`;
 * :mod:`repro.evaluate.render` renders the comparison as an ASCII
   box-plot report or a standalone HTML page;
+* :mod:`repro.evaluate.scoreboard` condenses a policy-tournament
+  aggregate (a sweep with a ``policies`` axis) into the per-policy
+  violation-rate / task-hours / reaction-time scoreboard behind
+  ``repro compare --scoreboard``;
 * :mod:`repro.evaluate.history` indexes exported run artifacts
   (manifests, shard checkpoints, aggregates) under stable ids so
   comparisons can address prior runs by id instead of raw paths.
@@ -41,6 +45,7 @@ from repro.evaluate.render import (
     render_comparison_html,
     write_comparison_html,
 )
+from repro.evaluate.scoreboard import build_scoreboard, render_scoreboard
 from repro.evaluate.tolerance import (
     ToleranceSpec,
     limit_value,
@@ -58,12 +63,14 @@ __all__ = [
     "RunIndex",
     "StatCheck",
     "ToleranceSpec",
+    "build_scoreboard",
     "compare_runs",
     "extract_metrics",
     "limit_value",
     "metric_direction",
     "render_comparison",
     "render_comparison_html",
+    "render_scoreboard",
     "suggest_from_runs",
     "suggest_tolerance",
     "within_tolerance",

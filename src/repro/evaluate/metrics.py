@@ -117,6 +117,11 @@ def _shard_metrics(shard: Mapping[str, object]) -> Dict[str, Optional[float]]:
         out["cost/task_seconds"] = series.get("task_seconds")
     if "mean_cpu_utilization" in series:
         out["utilization/cpu"] = series.get("mean_cpu_utilization")
+    scaling = shard.get("scaling") or {}
+    if "reaction_time_s" in scaling:
+        # None = the run had no violation onsets; contributes nothing
+        # (count records coverage) rather than a fake zero
+        out["reaction/time_s"] = scaling.get("reaction_time_s")
     for vertex, parallelism in sorted((shard.get("final_parallelism") or {}).items()):
         out[f"cost/parallelism/{vertex}"] = parallelism
     return out

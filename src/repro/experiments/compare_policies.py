@@ -13,6 +13,11 @@ The paper's Sec. VI positions these as designed for different goals
 conversely our policy is designed to minimize the violation of
 user-defined latency constraints"); this harness measures the difference.
 
+Every contender is constructed through the policy registry
+(:mod:`repro.core.policy`) and handed to ``engine.submit(graph,
+constraints, policy=...)`` — no policy is special-cased in engine or
+scaler code paths.
+
 Run:  python -m repro.experiments.compare_policies [--quick]
 """
 
@@ -22,8 +27,7 @@ import sys
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
-from repro.core.policies import CpuThresholdPolicy, RateBasedPolicy
-from repro.core.predictive import PredictiveScaleReactivelyPolicy
+from repro.core.policy import PolicySpec
 from repro.engine.engine import EngineConfig, StreamProcessingEngine
 from repro.experiments.report import format_table, write_csv
 from repro.workloads.primetester import (
@@ -127,10 +131,23 @@ class CompareResult:
         )
 
 
+def _policy_spec(params: CompareParams, policy_name: str) -> PolicySpec:
+    """The registry spec (name + scenario knobs) for one contender."""
+    if policy_name == "cpu-threshold":
+        high, low, target = params.cpu_thresholds
+        return PolicySpec(policy_name, {"high": high, "low": low, "target": target})
+    if policy_name == "rate-based":
+        return PolicySpec(policy_name, {"headroom": params.rate_headroom})
+    if policy_name == "predictive":
+        return PolicySpec(policy_name, {"horizon": params.predictive_horizon})
+    if policy_name == "scale-reactively":
+        return PolicySpec(policy_name)
+    raise ValueError(f"unknown policy {policy_name!r}")
+
+
 def run_policy(params: CompareParams, policy_name: str) -> PolicyOutcome:
-    """Run the scenario under one policy."""
-    if policy_name not in POLICIES:
-        raise ValueError(f"unknown policy {policy_name!r}")
+    """Run the scenario under one policy (built through the registry)."""
+    spec = _policy_spec(params, policy_name)
     graph, profile = build_primetester_job(params.workload)
     constraint = primetester_constraint(graph, params.constraint_bound)
     config = EngineConfig.nephele_adaptive(
@@ -142,17 +159,8 @@ def run_policy(params: CompareParams, policy_name: str) -> PolicyOutcome:
         seed=params.seed,
     )
     engine = StreamProcessingEngine(config)
-    job = engine.submit(graph, [constraint])
+    job = engine.submit(graph, [constraint], policy=spec)
     tester = graph.vertex("PrimeTester")
-    if policy_name == "cpu-threshold":
-        high, low, target = params.cpu_thresholds
-        job.scaler.policy = CpuThresholdPolicy([tester], high=high, low=low, target=target)
-    elif policy_name == "rate-based":
-        job.scaler.policy = RateBasedPolicy([tester], headroom=params.rate_headroom)
-    elif policy_name == "predictive":
-        job.scaler.policy = PredictiveScaleReactivelyPolicy(
-            [constraint], horizon=params.predictive_horizon
-        )
     max_p = [tester.parallelism]
 
     duration = profile.end_time + params.workload.step_duration

@@ -174,7 +174,14 @@ def build_manifest(
     scaler = job.scaler
     scaling: Optional[Dict[str, object]] = None
     if scaler is not None:
+        policy_spec = getattr(job, "policy_spec", None)
         scaling = {
+            "policy": scaler.policy_name,
+            "policy_spec": (
+                policy_spec.canonical() if policy_spec is not None
+                else scaler.policy_name
+            ),
+            "policy_knobs": getattr(scaler.policy, "knobs", dict)(),
             "rounds": scaler.rounds,
             "activations": len(scaler.events),
             "skipped_inactive": scaler.skipped_inactive,

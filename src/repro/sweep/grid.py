@@ -55,7 +55,9 @@ class SweepGrid:
         workloads: Sequence[str] = ("steady",),
         actuation: Sequence[bool] = (False,),
         duration: float = 60.0,
+        policies: Sequence[str] = ("scale-reactively",),
     ) -> None:
+        from repro.core.policy import parse_policy_spec
         if not isinstance(name, str) or not name:
             raise ValueError("grid name must be a non-empty string")
         if not seeds:
@@ -79,6 +81,17 @@ class SweepGrid:
             raise TypeError(f"duration must be a number, got {duration!r}")
         if not math.isfinite(float(duration)) or float(duration) <= 0:
             raise ValueError(f"duration must be positive and finite, got {duration!r}")
+        if not policies:
+            raise ValueError("grid axis 'policies' must not be empty")
+        canonical_policies: List[str] = []
+        for policy in policies:
+            if not isinstance(policy, str):
+                raise TypeError(f"policies axis entries must be strings, got {policy!r}")
+            # validates the name against the registry and canonicalizes
+            # the knob ordering, so equal specs collapse to one entry
+            spec = parse_policy_spec(policy).canonical()
+            if spec not in canonical_policies:
+                canonical_policies.append(spec)
         self.name = name
         self.seeds = sorted(set(int(s) for s in seeds))
         self.rates = sorted(set(_check_numbers("rates", rates, 0.0)))
@@ -86,6 +99,7 @@ class SweepGrid:
         self.workloads = tuple(w for w in WORKLOADS if w in set(workloads))
         self.actuation = tuple(sorted(set(actuation)))
         self.duration = float(duration)
+        self.policies = tuple(sorted(canonical_policies))
 
     @classmethod
     def quick(cls) -> "SweepGrid":
@@ -118,6 +132,31 @@ class SweepGrid:
             duration=40.0,
         )
 
+    @classmethod
+    def tournament(cls) -> "SweepGrid":
+        """The CI policy-tournament smoke grid.
+
+        Five policies race on identical seeds/rates/bounds — the same
+        deterministic workload per seed, so the only cross-shard
+        difference within a seed is the scaling policy. The ``spike``
+        workload stresses reaction: a deterministic service-time spike
+        forces violations, so violation rate, task hours and reaction
+        time actually separate the contenders. Small enough for CI,
+        wide enough for a meaningful ``repro compare --scoreboard``.
+        """
+        return cls(
+            name="tournament",
+            seeds=(1, 2),
+            rates=(400.0,),
+            bounds=(0.030,),
+            workloads=("spike",),
+            actuation=(False,),
+            duration=20.0,
+            policies=(
+                "scale-reactively", "cpu-threshold", "rate", "drs", "daedalus",
+            ),
+        )
+
     # ------------------------------------------------------------------
     # (de)serialization
     # ------------------------------------------------------------------
@@ -133,6 +172,7 @@ class SweepGrid:
             "workloads": list(self.workloads),
             "actuation": list(self.actuation),
             "duration": self.duration,
+            "policies": list(self.policies),
             "shards": len(self),
         }
 
@@ -145,13 +185,13 @@ class SweepGrid:
                 f"unsupported grid schema {schema!r} (expected {GRID_SCHEMA_VERSION})"
             )
         known = {"schema", "name", "seeds", "rates", "bounds", "workloads",
-                 "actuation", "duration", "shards"}
+                 "actuation", "duration", "policies", "shards"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ValueError(f"unknown grid keys: {', '.join(unknown)}")
         kwargs: Dict[str, object] = {}
         for key in ("name", "seeds", "rates", "bounds", "workloads",
-                    "actuation", "duration"):
+                    "actuation", "duration", "policies"):
             if key in data:
                 kwargs[key] = data[key]
         return cls(**kwargs)
@@ -169,7 +209,7 @@ class SweepGrid:
     def __len__(self) -> int:
         return (
             len(self.seeds) * len(self.rates) * len(self.bounds)
-            * len(self.workloads) * len(self.actuation)
+            * len(self.workloads) * len(self.actuation) * len(self.policies)
         )
 
     def expand(self) -> List[ShardSpec]:
@@ -182,11 +222,13 @@ class SweepGrid:
                 workload=workload,
                 actuation=actuation,
                 duration=self.duration,
+                policy=policy,
             )
             for workload in self.workloads
             for rate in self.rates
             for bound in self.bounds
             for actuation in self.actuation
+            for policy in self.policies
             for seed in self.seeds
         ]
         shards.sort(key=lambda spec: spec.key)

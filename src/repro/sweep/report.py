@@ -24,11 +24,21 @@ GRID_FILE = "grid.json"
 
 
 def group_key(params: Dict[str, object]) -> str:
-    """The across-seeds grouping identity of one shard's parameters."""
+    """The across-seeds grouping identity of one shard's parameters.
+
+    Mirrors the shard key minus the seed, so one group holds exactly the
+    seeds of one grid point — including the policy token, which is what
+    lets the evaluation layer score policies head-to-head.
+    """
+    from repro.core.policy import parse_policy_spec
+
+    token = parse_policy_spec(
+        params.get("policy", "scale-reactively")
+    ).key_token
     return (
         f"{params['workload']}-r{params['rate']:g}-"
         f"b{params['bound'] * 1000:g}ms-"
-        f"{'act' if params['actuation'] else 'sync'}"
+        f"{'act' if params['actuation'] else 'sync'}-{token}"
     )
 
 

@@ -30,12 +30,25 @@ FAIL_ONCE_EXIT_CODE = 23
 
 
 def shard_key(
-    workload: str, rate: float, bound: float, actuation: bool, seed: int
+    workload: str,
+    rate: float,
+    bound: float,
+    actuation: bool,
+    seed: int,
+    policy: str = "scale-reactively",
 ) -> str:
-    """Stable, filesystem-safe shard identity (also the merge order)."""
+    """Stable, filesystem-safe shard identity (also the merge order).
+
+    ``policy`` is a policy spec string; knobbed specs contribute a short
+    hash token so two axis entries differing only in knobs never collide
+    (see :attr:`repro.core.policy.PolicySpec.key_token`).
+    """
+    from repro.core.policy import parse_policy_spec
+
+    token = parse_policy_spec(policy).key_token
     return (
         f"{workload}-r{rate:g}-b{bound * 1000:g}ms-"
-        f"{'act' if actuation else 'sync'}-s{seed:04d}"
+        f"{'act' if actuation else 'sync'}-{token}-s{seed:04d}"
     )
 
 
@@ -43,7 +56,7 @@ class ShardSpec:
     """Picklable description of one shard run."""
 
     __slots__ = ("seed", "rate", "bound", "workload", "actuation",
-                 "duration", "fail_once_marker")
+                 "duration", "policy", "fail_once_marker")
 
     def __init__(
         self,
@@ -53,14 +66,19 @@ class ShardSpec:
         workload: str = "steady",
         actuation: bool = False,
         duration: float = 60.0,
+        policy: str = "scale-reactively",
         fail_once_marker: Optional[str] = None,
     ) -> None:
+        from repro.core.policy import parse_policy_spec
+
         self.seed = int(seed)
         self.rate = float(rate)
         self.bound = float(bound)
         self.workload = workload
         self.actuation = bool(actuation)
         self.duration = float(duration)
+        #: canonical policy spec string (validated against the registry)
+        self.policy = parse_policy_spec(policy).canonical()
         #: crash-isolation test hook: when set and the marker file does
         #: not exist yet, the worker process creates it and dies with
         #: FAIL_ONCE_EXIT_CODE — the retry then runs normally. Never
@@ -70,7 +88,7 @@ class ShardSpec:
     @property
     def key(self) -> str:
         return shard_key(self.workload, self.rate, self.bound,
-                         self.actuation, self.seed)
+                         self.actuation, self.seed, self.policy)
 
     def params(self) -> Dict[str, object]:
         """The deterministic parameters recorded in checkpoints."""
@@ -81,6 +99,7 @@ class ShardSpec:
             "workload": self.workload,
             "actuation": self.actuation,
             "duration": self.duration,
+            "policy": self.policy,
         }
 
     def to_dict(self) -> Dict[str, object]:
@@ -186,6 +205,37 @@ def build_shard_pipeline(spec: ShardSpec, export_dir: Optional[str] = None):
     return builder.build()
 
 
+def reaction_time_s(trackers, events) -> Optional[float]:
+    """Mean scaler reaction time to constraint-violation onsets.
+
+    An *onset* is a tracker-history transition into violation; the
+    reaction is the delay until the first scaler activation at or after
+    the onset. Returns the mean over all onsets with a matching
+    activation, or None when the run had no onsets (nothing to react to)
+    or no activation ever followed one.
+    """
+    onsets = []
+    for tracker in trackers:
+        previous = False
+        for entry in tracker.history:
+            now, violated = entry[0], bool(entry[-1])
+            if violated and not previous:
+                onsets.append(now)
+            previous = violated
+    if not onsets:
+        return None
+    event_times = sorted(event.time for event in events)
+    reactions = []
+    for onset in onsets:
+        for event_time in event_times:
+            if event_time >= onset:
+                reactions.append(event_time - onset)
+                break
+    if not reactions:
+        return None
+    return sum(reactions) / len(reactions)
+
+
 def run_shard(spec: ShardSpec, export_dir: Optional[str] = None) -> Dict[str, object]:
     """Run one shard to completion; returns its deterministic result.
 
@@ -199,7 +249,9 @@ def run_shard(spec: ShardSpec, export_dir: Optional[str] = None) -> Dict[str, ob
 
     pipeline = build_shard_pipeline(spec, export_dir=export_dir)
     source_vertex, sink_vertex = WORKLOAD_VERTICES.get(spec.workload, DEFAULT_VERTICES)
-    engine = StreamProcessingEngine(EngineConfig(elastic=True, seed=spec.seed))
+    engine = StreamProcessingEngine(
+        EngineConfig(elastic=True, seed=spec.seed, policy=spec.policy)
+    )
     recorder = SeriesRecorder(
         engine, interval=5.0, source_vertex=source_vertex,
         source_profile=pipeline.graph.vertex(source_vertex).rate_profile,
@@ -222,10 +274,12 @@ def run_shard(spec: ShardSpec, export_dir: Optional[str] = None) -> Dict[str, ob
     scaling: Optional[Dict[str, object]] = None
     if scaler is not None:
         scaling = {
+            "policy": scaler.policy_name,
             "rounds": scaler.rounds,
             "activations": len(scaler.events),
             "skipped_stale": scaler.skipped_stale,
             "suppressed_scale_downs": scaler.suppressed_scale_downs,
+            "reaction_time_s": reaction_time_s(job.trackers, scaler.events),
         }
     result: Dict[str, object] = {
         "shard_schema": SHARD_SCHEMA_VERSION,

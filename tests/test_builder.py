@@ -144,7 +144,7 @@ class TestBuilderEndToEnd:
             .build()
         )
         engine = StreamProcessingEngine(EngineConfig())
-        built.submit_to(engine)
+        engine.submit(built)
         engine.run(5.0)
         assert seen
         assert all(v == 42 for v in seen)

@@ -40,8 +40,11 @@ class TestPublicApi:
             "repro.qos",
             "repro.qos.diagnostics",
             "repro.core",
+            "repro.core.policy",
             "repro.core.policies",
             "repro.core.predictive",
+            "repro.core.drs",
+            "repro.core.daedalus",
             "repro.actuation",
             "repro.actuation.config",
             "repro.actuation.reconciler",
@@ -70,6 +73,7 @@ class TestPublicApi:
             "repro.evaluate.compare",
             "repro.evaluate.render",
             "repro.evaluate.history",
+            "repro.evaluate.scoreboard",
             "repro.cli",
         ],
     )

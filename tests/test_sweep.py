@@ -124,9 +124,20 @@ class TestSweepGrid:
 class TestShard:
     def test_key_is_stable_and_filesystem_safe(self):
         key = shard_key("steady", 250.0, 0.030, False, 7)
-        assert key == "steady-r250-b30ms-sync-s0007"
+        assert key == "steady-r250-b30ms-sync-scale-reactively-s0007"
         assert "/" not in key and " " not in key
         assert ShardSpec(7, 250.0, 0.030).key == key
+
+    def test_key_carries_the_policy_token(self):
+        key = shard_key("steady", 250.0, 0.030, False, 7, policy="drs")
+        assert key == "steady-r250-b30ms-sync-drs-s0007"
+        # knobbed specs hash their knobs into the token (filesystem-safe)
+        knobbed = shard_key(
+            "steady", 250.0, 0.030, False, 7, policy="drs:target_fraction=0.9"
+        )
+        assert knobbed.startswith("steady-r250-b30ms-sync-drs+")
+        assert knobbed != key
+        assert "/" not in knobbed and "=" not in knobbed
 
     def test_run_shard_is_deterministic(self):
         spec = ShardSpec(seed=3, rate=250.0, bound=0.030, duration=4.0)
@@ -310,7 +321,7 @@ class TestMergeAndReport:
         result = run_sweep(tiny_grid(), str(tmp_path / "out"), workers=1)
         rendered = SweepDashboard(result.aggregate).render()
         assert "sweep 'tiny'" in rendered
-        assert "steady-r250-b30ms-sync-s0001" in rendered
+        assert "steady-r250-b30ms-sync-scale-reactively-s0001" in rendered
         assert "across seeds:" in rendered
         assert "fulfillment by shard:" in rendered
 
