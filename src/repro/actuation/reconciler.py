@@ -50,6 +50,9 @@ from repro.actuation.config import ActuationConfig
 from repro.obs.trace import (
     BRANCH_ACTUATION_FAILED,
     BRANCH_ACTUATION_PENDING,
+    BRANCH_MIGRATION_FAILED,
+    BRANCH_MIGRATION_PENDING,
+    BRANCH_MIGRATION_ROLLED_BACK,
     BRANCH_RETRY_BACKOFF,
     BRANCH_WATCHDOG_ESCALATION,
     TraceRecord,
@@ -123,6 +126,10 @@ class ReconciliationController:
         #: optional DecisionTrace receiving schema-v2 actuation records
         self.trace_sink = trace_sink
         self.job_name = job_name
+        #: set by the engine when the job carries stateful vertices; a
+        #: rescale of a stateful vertex then routes through the
+        #: multi-phase migration protocol instead of a direct apply
+        self.state_manager = None
         #: desired parallelism per vertex (last accepted request target)
         self.desired: Dict[str, int] = {}
         #: in-flight request per vertex (at most one at a time)
@@ -141,6 +148,12 @@ class ReconciliationController:
         self.clamped_steps = 0
         self.superseded_requests = 0
         self.partials = 0
+        #: requests permanently abandoned after retry exhaustion
+        self.abandoned = 0
+        # state-migration lifecycle counters
+        self.migrations_started = 0
+        self.migrations_applied = 0
+        self.migrations_rolled_back = 0
         #: vertices whose last success applied less than desired; the
         #: remainder is re-issued on the next adjustment tick
         self._partial_pending: set = set()
@@ -151,6 +164,12 @@ class ReconciliationController:
         # ("*" = all vertices)
         self._fail_until: Dict[str, float] = {}
         self._delay_windows: Dict[str, Tuple[float, float]] = {}
+        # migration fault windows set by MigrationFailure ("*" = all)
+        self._migrate_fail_until: Dict[str, float] = {}
+        #: in-transfer migration plan per vertex — a task crash on the
+        #: vertex aborts it so _finish_transfer rolls back instead of
+        #: applying a plan computed over pre-crash state
+        self._migrating: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # bookkeeping helpers
@@ -177,6 +196,7 @@ class ReconciliationController:
         req: ActuationRequest,
         detail: str,
         p_applied: Optional[int] = None,
+        state_bytes: Optional[int] = None,
     ) -> TraceRecord:
         return TraceRecord(
             self.sim.now, "*", branch,
@@ -188,6 +208,7 @@ class ReconciliationController:
             p_applied=p_applied,
             attempt=req.attempt,
             detail=detail,
+            state_bytes=state_bytes,
         )
 
     # ------------------------------------------------------------------
@@ -210,6 +231,33 @@ class ReconciliationController:
             now < self._fail_until.get("*", 0.0)
             or now < self._fail_until.get(vertex, 0.0)
         )
+
+    def fail_migrations(self, vertex: Optional[str], until: float) -> None:
+        """Make state transfers for ``vertex`` (None = all) fail until ``until``."""
+        key = vertex if vertex is not None else "*"
+        self._migrate_fail_until[key] = max(
+            self._migrate_fail_until.get(key, 0.0), until
+        )
+
+    def _migration_fault_active(self, vertex: str) -> bool:
+        now = self.sim.now
+        return (
+            now < self._migrate_fail_until.get("*", 0.0)
+            or now < self._migrate_fail_until.get(vertex, 0.0)
+        )
+
+    def abort_migrations(self, vertex: str, reason: str) -> None:
+        """Abort an in-transfer migration for ``vertex`` (e.g. task crash).
+
+        The plan was computed over pre-crash state; applying it would
+        resurrect lost keys. Marking it aborted makes the pending
+        ``_finish_transfer`` roll back instead.
+        """
+        plan = self._migrating.get(vertex)
+        if plan is not None and not plan.aborted:
+            plan.aborted = True
+            plan.abort_reason = reason
+            self._record("migration-aborted", vertex, 0, reason)
 
     def _delay_factor(self, vertex: str) -> float:
         now = self.sim.now
@@ -322,6 +370,12 @@ class ReconciliationController:
         elif self.config.failure_rate > 0.0 and self._rng.random() < self.config.failure_rate:
             failure = "provisioning failure (sampled)"
         if failure is None:
+            if (
+                self.state_manager is not None
+                and self.state_manager.is_stateful(req.vertex)
+            ):
+                self._begin_migration(req)
+                return
             from repro.engine.resources import InsufficientResourcesError
 
             try:
@@ -366,6 +420,12 @@ class ReconciliationController:
         if req.attempt > self.config.max_retries:
             self.give_ups += 1
             self._count("give_ups")
+            # Retry exhaustion is surfaced as its own first-class metric
+            # (un-prefixed: it is an outcome, not a lifecycle step) so
+            # dashboards can alert on silently-dropped rescale orders.
+            self.abandoned += 1
+            if self.metrics is not None:
+                self.metrics.counter("reconciler.abandoned").inc()
             self.in_flight.pop(req.vertex, None)
             self._gauge("in_flight", len(self.in_flight))
             self._record(
@@ -392,6 +452,108 @@ class ReconciliationController:
         if req.superseded:
             return
         self._schedule_attempt(req)
+
+    # ------------------------------------------------------------------
+    # stateful migration protocol (quiesce → snapshot → transfer → restore)
+    # ------------------------------------------------------------------
+
+    def _begin_migration(self, req: ActuationRequest) -> None:
+        """Start the multi-phase state migration for a stateful rescale.
+
+        The vertex's tasks are paused for the quiesce + snapshot +
+        transfer phases (pause scales with moved state bytes); the plan
+        is held in ``_migrating`` so a concurrent crash can abort it.
+        The rescale itself is applied only at ``_finish_transfer``.
+        """
+        manager = self.state_manager
+        plan = manager.plan_migration(req.vertex, req.target)
+        t_quiesce, t_snapshot, t_transfer, t_restore = manager.sample_phase_times(
+            req.vertex, plan.moved_bytes
+        )
+        pause = t_quiesce + t_snapshot + t_transfer
+        self.migrations_started += 1
+        self._count("migrations_started")
+        self._record(
+            "migration-start", req.vertex, req.attempt,
+            f"{req.p_before}->{req.target}, {plan.moved_bytes}B moved, "
+            f"pause={pause:.3f}s",
+        )
+        self._emit(self._trace(
+            BRANCH_MIGRATION_PENDING, req,
+            f"migrating {plan.moved_bytes} bytes "
+            f"(quiesce+snapshot+transfer {pause:.3f}s)",
+            state_bytes=plan.moved_bytes,
+        ))
+        manager.note_migration_pause(req.vertex, pause)
+        self._migrating[req.vertex] = plan
+        self.sim.schedule(pause, self._finish_transfer, req, plan, t_restore)
+
+    def _finish_transfer(self, req: ActuationRequest, plan, t_restore: float) -> None:
+        if self._migrating.get(req.vertex) is plan:
+            self._migrating.pop(req.vertex, None)
+        if req.superseded:
+            # Nothing was applied yet — state layout is untouched, so
+            # the newer request simply starts from the same baseline.
+            self._record(
+                "migration-dropped", req.vertex, req.attempt,
+                "request superseded mid-transfer",
+            )
+            return
+        if plan.aborted or self._migration_fault_active(req.vertex):
+            reason = plan.abort_reason or "migration fault window active"
+            self._rollback_migration(req, plan, t_restore, reason)
+            return
+        self.state_manager.apply_migration(plan)
+        from repro.engine.resources import InsufficientResourcesError
+
+        try:
+            result = self.scheduler.set_parallelism(req.vertex, req.target)
+        except InsufficientResourcesError:
+            self.state_manager.rollback_migration(plan)
+            self.migrations_rolled_back += 1
+            self._count("migrations_rolled_back")
+            reason = "insufficient cluster resources"
+            self._record("migration-rolled-back", req.vertex, req.attempt, reason)
+            self._emit(self._trace(
+                BRANCH_MIGRATION_ROLLED_BACK, req,
+                f"rolled back to p={req.p_before}: {reason}",
+                state_bytes=plan.moved_bytes,
+            ))
+            self._fail(req, reason)
+            return
+        self.state_manager.note_migration_pause(req.vertex, t_restore)
+        self.migrations_applied += 1
+        self._count("migrations_applied")
+        self._record(
+            "migration-applied", req.vertex, req.attempt,
+            f"{plan.moved_bytes}B restored in {t_restore:.3f}s",
+        )
+        self._succeed(req, result)
+
+    def _rollback_migration(
+        self, req: ActuationRequest, plan, t_restore: float, reason: str
+    ) -> None:
+        """Failed mid-transfer: restore the pre-rescale partitioning.
+
+        Rollback pays the restore cost too (re-installing the snapshot
+        on the original tasks), then the request enters the normal
+        retry/backoff/give-up path.
+        """
+        self.state_manager.note_migration_pause(req.vertex, t_restore)
+        self.state_manager.rollback_migration(plan)
+        self.migrations_rolled_back += 1
+        self._count("migrations_rolled_back")
+        self._emit(self._trace(
+            BRANCH_MIGRATION_FAILED, req, reason,
+            state_bytes=plan.moved_bytes,
+        ))
+        self._record("migration-rolled-back", req.vertex, req.attempt, reason)
+        self._emit(self._trace(
+            BRANCH_MIGRATION_ROLLED_BACK, req,
+            f"rolled back to p={req.p_before} without state loss",
+            state_bytes=plan.moved_bytes,
+        ))
+        self._fail(req, reason)
 
     # ------------------------------------------------------------------
     # watchdog (driven from the adjustment tick)
@@ -492,11 +654,12 @@ class ReconciliationController:
 
     def summary(self) -> Dict[str, object]:
         """JSON-serializable lifetime summary for manifests/dashboards."""
-        return {
+        summary: Dict[str, object] = {
             "requests": self.requests,
             "retries": self.retries,
             "failures": self.failures,
             "give_ups": self.give_ups,
+            "abandoned": self.abandoned,
             "applied": self.applied,
             "escalations": self.escalations,
             "suppressed_hysteresis": self.suppressed_hysteresis,
@@ -507,6 +670,13 @@ class ReconciliationController:
             "convergence_lag": self.convergence_lag(),
             "config": self.config.describe(),
         }
+        if self.state_manager is not None:
+            summary["migrations"] = {
+                "started": self.migrations_started,
+                "applied": self.migrations_applied,
+                "rolled_back": self.migrations_rolled_back,
+            }
+        return summary
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

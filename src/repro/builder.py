@@ -32,6 +32,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 from repro.actuation.config import ActuationConfig
 from repro.core.constraints import LatencyConstraint
 from repro.core.policy import PolicySpec, parse_policy_spec
+from repro.engine.state import StatefulVertexSpec
 from repro.engine.udf import FilterUDF, FlatMapUDF, MapUDF, SinkUDF, SourceUDF, UDF
 from repro.obs.config import ObservabilityConfig
 from repro.graphs.job_graph import JobGraph, JobVertex
@@ -55,6 +56,7 @@ class BuiltPipeline:
         observability: Optional[ObservabilityConfig] = None,
         actuation: Optional[ActuationConfig] = None,
         policy: Optional[PolicySpec] = None,
+        stateful: Optional[dict] = None,
     ) -> None:
         self.graph = graph
         self.constraints = constraints
@@ -69,6 +71,9 @@ class BuiltPipeline:
         #: scaling-policy spec from ``.scale(...)`` (None = the engine
         #: config decides; a set spec implies elasticity for this job)
         self.policy = policy
+        #: stateful vertex declarations from ``.stateful(...)``
+        #: ({vertex name -> StatefulVertexSpec}; empty = stateless job)
+        self.stateful: dict = dict(stateful or {})
 
     def submit_to(self, engine):
         """Deprecated delegate for ``engine.submit(self)``.
@@ -117,6 +122,7 @@ class PipelineBuilder:
         self._observability: Optional[ObservabilityConfig] = None
         self._actuation: Optional[ActuationConfig] = None
         self._policy: Optional[PolicySpec] = None
+        self._stateful: dict = {}
 
     # ------------------------------------------------------------------
     # stages
@@ -329,6 +335,49 @@ class PipelineBuilder:
         self._actuation = config if config is not None else ActuationConfig(**kwargs)
         return self
 
+    def stateful(
+        self,
+        vertex: Optional[str] = None,
+        spec: Optional[StatefulVertexSpec] = None,
+        **kwargs,
+    ) -> "PipelineBuilder":
+        """Declare a stage as stateful (key-partitioned operator state).
+
+        ``vertex`` names the stage (default: the most recently added
+        one). Pass a prebuilt
+        :class:`~repro.engine.state.StatefulVertexSpec` or keyword
+        arguments forwarded to its constructor (``n_keys``, ``zipf_s``,
+        ``bytes_per_event``, ``key_fn``, ``cost``, ``replay_factor``):
+
+        >>> _ = (PipelineBuilder("p")
+        ...      .source(lambda now, rng: rng.random(), rate=None)
+        ...      .map("agg", lambda x: x)
+        ...      .stateful(n_keys=128, bytes_per_event=48))
+
+        A stateful vertex's rescales route through the multi-phase state
+        migration protocol (quiesce → snapshot → transfer → restore),
+        its task crashes trigger checkpoint-restore recovery, and the
+        scaling policies gain the migration-aware gate. See
+        :mod:`repro.engine.state`.
+        """
+        if spec is not None and kwargs:
+            raise TypeError(
+                "pass either a StatefulVertexSpec or keyword arguments, not both"
+            )
+        if vertex is None:
+            if self._last is None:
+                raise ValueError("stateful() requires a stage (add one first)")
+            vertex = self._last.name
+        if vertex not in self.graph.vertices:
+            raise ValueError(
+                f"stateful() targets unknown vertex {vertex!r} "
+                f"(have: {sorted(self.graph.vertices)})"
+            )
+        if self._source is not None and vertex == self._source.name:
+            raise ValueError("sources cannot be stateful (no keyed input)")
+        self._stateful[vertex] = spec if spec is not None else StatefulVertexSpec(**kwargs)
+        return self
+
     def scale(self, policy: str = "scale-reactively", **knobs) -> "PipelineBuilder":
         """Select the pipeline's scaling policy (implies elasticity).
 
@@ -377,4 +426,5 @@ class PipelineBuilder:
             observability=self._observability,
             actuation=self._actuation,
             policy=self._policy,
+            stateful=self._stateful,
         )

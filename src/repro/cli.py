@@ -137,6 +137,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "actuation attempt fails (negative = off)")
     chaos.add_argument("--actuation-fail-duration", type=float, default=20.0,
                        help="length of the actuation-failure window (s)")
+    chaos.add_argument("--stateful", action="store_true",
+                       help="make the worker stage stateful (key-partitioned "
+                            "operator state): rescales become multi-phase state "
+                            "migrations, crashes trigger checkpoint-restore "
+                            "recovery (implies --actuation)")
+    chaos.add_argument("--migration-fail-at", type=float, default=-1.0,
+                       help="start a window in which state migrations fail "
+                            "mid-transfer and roll back (negative = off; "
+                            "implies --stateful and --actuation)")
+    chaos.add_argument("--migration-fail-duration", type=float, default=15.0,
+                       help="length of the migration-failure window (s)")
+    chaos.add_argument("--checkpoint-interval", type=float, default=15.0,
+                       help="periodic checkpoint interval for stateful vertices "
+                            "(s); shorter = more snapshot pauses, less replay "
+                            "after a crash")
     chaos.add_argument("--obs-dir", metavar="DIR", default=None,
                        help="export manifest/metrics/trace into DIR after the run")
     chaos.add_argument("--pin-wall-time", action="store_true",
@@ -176,6 +191,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--tournament", action="store_true",
                        help="the built-in 10-shard policy-tournament grid "
                             "(5 policies x 2 seeds, see SweepGrid.tournament)")
+    sweep.add_argument("--tournament-stateful", action="store_true",
+                       help="the stateful policy tournament: same race on a "
+                            "stateful worker, so rescales pay migration "
+                            "pauses (see SweepGrid.tournament_stateful)")
 
     trace = sub.add_parser("trace", help="rate traces and scaler decision traces")
     trace.add_argument("--check", action="store_true",
@@ -413,8 +432,11 @@ def _csv_list(text: str, convert) -> list:
 def _build_sweep_grid(args: argparse.Namespace):
     from repro.sweep import SweepGrid
 
-    built_ins = [flag for flag in ("--grid", "--quick", "--tournament")
-                 if getattr(args, flag.lstrip("-"), None)]
+    built_ins = [
+        flag
+        for flag in ("--grid", "--quick", "--tournament", "--tournament-stateful")
+        if getattr(args, flag.lstrip("-").replace("-", "_"), None)
+    ]
     if len(built_ins) > 1:
         raise SystemExit(f"pass only one of {', '.join(built_ins)}")
     if args.grid is not None:
@@ -423,6 +445,8 @@ def _build_sweep_grid(args: argparse.Namespace):
         grid = SweepGrid.quick()
     elif args.tournament:
         grid = SweepGrid.tournament()
+    elif args.tournament_stateful:
+        grid = SweepGrid.tournament_stateful()
     else:
         grid = SweepGrid()
     overrides = {}
@@ -662,6 +686,7 @@ def _run_chaos(args: argparse.Namespace) -> None:
     from repro.simulation.faults import (
         ActuationFailure,
         MeasurementDropout,
+        MigrationFailure,
         ServiceSpike,
         TaskCrash,
         WorkerLoss,
@@ -669,6 +694,7 @@ def _run_chaos(args: argparse.Namespace) -> None:
     from repro.simulation.randomness import Gamma
     from repro.workloads.rates import ConstantRate
 
+    stateful = args.stateful or args.migration_fail_at >= 0
     builder = (
         PipelineBuilder("chaos")
         .source(lambda now, rng: rng.random(), rate=ConstantRate(args.rate))
@@ -676,6 +702,8 @@ def _run_chaos(args: argparse.Namespace) -> None:
         .sink()
         .constrain(bound=args.bound)
     )
+    if stateful:
+        builder.stateful("worker")
     if args.policy is not None:
         builder.scale(args.policy)
     if args.crash_at >= 0:
@@ -697,9 +725,11 @@ def _run_chaos(args: argparse.Namespace) -> None:
         )
     if args.worker_loss_at >= 0:
         builder.inject(WorkerLoss(at=args.worker_loss_at, restart_delay=args.restart_delay))
-    if args.actuation:
+    if args.actuation or stateful:
+        # Stateful runs need the reconciler: the migration protocol is
+        # its supervised-actuation path.
         builder.actuate()
-        if args.actuation_fail_at >= 0:
+        if args.actuation and args.actuation_fail_at >= 0:
             builder.inject(
                 ActuationFailure(
                     at=args.actuation_fail_at,
@@ -707,12 +737,23 @@ def _run_chaos(args: argparse.Namespace) -> None:
                     vertex="worker",
                 )
             )
+    if args.migration_fail_at >= 0:
+        builder.inject(
+            MigrationFailure(
+                at=args.migration_fail_at,
+                duration=args.migration_fail_duration,
+                vertex="worker",
+            )
+        )
     builder.inject(seed=args.fault_seed)
     if args.obs_dir is not None:
         builder.observe(export_dir=args.obs_dir, pin_wall_time=args.pin_wall_time)
     pipeline = builder.build()
 
-    engine = StreamProcessingEngine(EngineConfig(elastic=True, seed=args.seed))
+    engine = StreamProcessingEngine(EngineConfig(
+        elastic=True, seed=args.seed,
+        checkpoint_interval=args.checkpoint_interval,
+    ))
     recorder = SeriesRecorder(engine, interval=5.0, source_vertex="source",
                               source_profile=ConstantRate(args.rate))
     job = engine.submit(pipeline)
@@ -747,7 +788,23 @@ def _run_chaos(args: argparse.Namespace) -> None:
               f"{reconciler.give_ups} give-ups, "
               f"{reconciler.escalations} watchdog escalations")
         print(f"  in flight: {len(reconciler.in_flight)}, "
-              f"convergence lag: {reconciler.convergence_lag()}")
+              f"convergence lag: {reconciler.convergence_lag()}, "
+              f"abandoned: {reconciler.abandoned}")
+    state_manager = engine.state_manager
+    if state_manager is not None:
+        s = state_manager.summary()
+        m = s["migrations"]
+        print()
+        print(f"state: {m['started']} migrations "
+              f"({m['completed']} completed, {m['failed']} failed, "
+              f"{m['rolled_back']} rolled back, {m['deferred']} deferred)")
+        print(f"  migrated: {s['state_migrated_bytes']} bytes, "
+              f"lost to crashes: {s['state_lost_bytes']} bytes")
+        print(f"  pauses: migration {s['migration_pause_s']:.3f}s, "
+              f"checkpoint {s['checkpoint_pause_s']:.3f}s "
+              f"({s['checkpoints']} checkpoints @ {s['checkpoint_interval']:.0f}s)")
+        print(f"  crash recoveries: {s['crash_recoveries']}, "
+              f"replay charged: {s['recovery_time_s']:.3f}s")
     for tracker in engine.trackers:
         print(f"constraint {tracker.constraint.name}: "
               f"{tracker.fulfillment_ratio * 100:.1f}% fulfilled "

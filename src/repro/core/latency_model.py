@@ -274,3 +274,87 @@ def build_sequence_model(
     if not models:
         return None
     return SequenceLatencyModel(sequence.name, models)
+
+
+# ----------------------------------------------------------------------
+# migration cost anticipation (stateful rescaling)
+# ----------------------------------------------------------------------
+
+
+class MigrationCostModel:
+    """Cost parameters of a stateful rescale's multi-phase migration.
+
+    A migration pauses the vertex for quiesce → snapshot → transfer →
+    restore; every byte-proportional phase scales with the migrated
+    state. The *expected* pause (no sampling) is what policies use to
+    anticipate migration cost; the actual simulated phases add Gamma
+    jitter of coefficient-of-variation ``jitter_cv`` around the same
+    means (see :meth:`repro.engine.state.StateManager.sample_phase_times`).
+    """
+
+    __slots__ = (
+        "quiesce_s",
+        "snapshot_bytes_per_s",
+        "transfer_bytes_per_s",
+        "restore_bytes_per_s",
+        "jitter_cv",
+    )
+
+    def __init__(
+        self,
+        quiesce_s: float = 0.05,
+        snapshot_bytes_per_s: float = 64e6,
+        transfer_bytes_per_s: float = 8e6,
+        restore_bytes_per_s: float = 16e6,
+        jitter_cv: float = 0.2,
+    ) -> None:
+        if quiesce_s < 0:
+            raise ValueError(f"quiesce_s must be >= 0 (got {quiesce_s})")
+        for name, value in (
+            ("snapshot_bytes_per_s", snapshot_bytes_per_s),
+            ("transfer_bytes_per_s", transfer_bytes_per_s),
+            ("restore_bytes_per_s", restore_bytes_per_s),
+        ):
+            if value <= 0:
+                raise ValueError(f"{name} must be positive (got {value})")
+        if jitter_cv < 0:
+            raise ValueError(f"jitter_cv must be >= 0 (got {jitter_cv})")
+        self.quiesce_s = float(quiesce_s)
+        self.snapshot_bytes_per_s = float(snapshot_bytes_per_s)
+        self.transfer_bytes_per_s = float(transfer_bytes_per_s)
+        self.restore_bytes_per_s = float(restore_bytes_per_s)
+        self.jitter_cv = float(jitter_cv)
+
+    def phase_means(self, moved_bytes: float) -> Tuple[float, float, float, float]:
+        """Mean (quiesce, snapshot, transfer, restore) durations."""
+        moved = max(0.0, float(moved_bytes))
+        return (
+            self.quiesce_s,
+            moved / self.snapshot_bytes_per_s,
+            moved / self.transfer_bytes_per_s,
+            moved / self.restore_bytes_per_s,
+        )
+
+    def describe(self) -> Dict[str, float]:
+        """Deterministic JSON-serializable parameter dump."""
+        return {
+            "quiesce_s": self.quiesce_s,
+            "snapshot_bytes_per_s": self.snapshot_bytes_per_s,
+            "transfer_bytes_per_s": self.transfer_bytes_per_s,
+            "restore_bytes_per_s": self.restore_bytes_per_s,
+            "jitter_cv": self.jitter_cv,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MigrationCostModel({self.describe()})"
+
+
+def expected_migration_pause(moved_bytes: float, cost: MigrationCostModel) -> float:
+    """The expected vertex pause of migrating ``moved_bytes`` of state.
+
+    Deterministic (consumes no randomness), so scaling policies can call
+    it every adjustment round to weigh a rescale's migration pause
+    against the remaining latency headroom without perturbing the sim's
+    sampled migration durations.
+    """
+    return sum(cost.phase_means(moved_bytes))

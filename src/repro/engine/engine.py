@@ -40,6 +40,7 @@ from repro.engine.channel import NetworkModel, RuntimeChannel
 from repro.engine.resources import ResourceManager
 from repro.engine.runtime import RuntimeGraph
 from repro.engine.scheduler import Scheduler
+from repro.engine.state import MigrationAdvisor, StateManager, StatefulVertexSpec
 from repro.engine.task import RuntimeTask
 from repro.graphs.job_graph import JobGraph
 from repro.obs.config import ObservabilityConfig
@@ -100,6 +101,11 @@ class EngineConfig:
     #: actuation supervision (None = synchronous, infallible rescaling;
     #: see :class:`repro.actuation.ActuationConfig`)
     actuation: Optional[ActuationConfig] = None
+    #: periodic checkpoint interval for stateful vertices (seconds).
+    #: Shorter intervals cost more snapshot pauses but shrink the replay
+    #: window charged to latency after a task crash (cost/recovery
+    #: tradeoff; ignored by stateless jobs)
+    checkpoint_interval: float = 15.0
     #: task startup delay in seconds (paper: 1-2 s)
     startup_delay: float = 1.5
     #: clamp for the fitting coefficient e_jv
@@ -169,6 +175,7 @@ class DeployedJob:
         fault_plan: Optional[FaultPlan] = None,
         actuation: Optional[ActuationConfig] = None,
         policy: Optional[object] = None,
+        stateful: Optional[Dict[str, StatefulVertexSpec]] = None,
     ) -> None:
         DeployedJob._ids += 1
         self.job_id = DeployedJob._ids
@@ -266,7 +273,45 @@ class DeployedJob:
             )
             if self.scaler is not None:
                 self.scaler.reconciler = self.reconciler
+        #: keyed-state manager (None = stateless job). Wired before
+        #: deploy so the state probes reach every task, including later
+        #: scale-ups.
+        self.state_manager: Optional[StateManager] = None
+        if stateful:
+            manager = StateManager(
+                engine.sim,
+                self.runtime,
+                stateful,
+                job_streams,
+                checkpoint_interval=config.checkpoint_interval,
+                metrics=engine.metrics,
+            )
+            self.state_manager = manager
+            for name in manager.vertices:
+                previous = self._vertex_probes.get(name)
+
+                def _state_probe(latency, payload, _name=name, _prev=previous):
+                    if _prev is not None:
+                        _prev(latency, payload)
+                    manager.on_event(_name, payload)
+
+                self._vertex_probes[name] = _state_probe
+            # Every rescale path (reconciler migrations, synchronous
+            # scaler calls, crash-without-restart shrinks) converges the
+            # key partitioning to the new parallelism; crash recovery
+            # restores the crashed partition from its last checkpoint
+            # and charges the replay time to the restart delay.
+            self.scheduler.on_rescaled = manager.sync_parallelism
+            self.scheduler.on_task_failed = self._on_stateful_task_failed
+            if self.reconciler is not None:
+                self.reconciler.state_manager = manager
+            if self.scaler is not None and hasattr(
+                type(self.scaler.policy), "migration_advisor"
+            ):
+                self.scaler.policy.migration_advisor = MigrationAdvisor(manager)
         self.scheduler.deploy()
+        if self.state_manager is not None:
+            self.state_manager.start()
         #: armed fault injector (None for fault-free runs)
         self.fault_injector: Optional[FaultInjector] = None
         if fault_plan is not None and fault_plan:
@@ -313,6 +358,22 @@ class DeployedJob:
                     second(latency, payload)
 
                 task.process_probe = chained
+
+    def _on_stateful_task_failed(self, task: RuntimeTask) -> float:
+        """Crash hook: abort in-transfer migrations, run checkpoint restore.
+
+        Returns the replay time (seconds) added to the task's restart
+        delay — the latency cost of re-processing events since the last
+        checkpoint.
+        """
+        manager = self.state_manager
+        if manager is None or not manager.is_stateful(task.vertex_name):
+            return 0.0
+        if self.reconciler is not None:
+            self.reconciler.abort_migrations(
+                task.vertex_name, "task crash during state transfer"
+            )
+        return manager.on_task_failed(task)
 
     def _on_channel_created(self, channel: RuntimeChannel) -> None:
         reporter = ChannelReporter(channel.edge_name, channel.channel_id)
@@ -527,6 +588,7 @@ class StreamProcessingEngine:
         fault_plan: Optional[FaultPlan] = None,
         actuation: Optional[ActuationConfig] = None,
         policy: Optional[object] = None,
+        stateful: Optional[Dict[str, StatefulVertexSpec]] = None,
     ) -> DeployedJob:
         """Deploy a job and start its master control loop.
 
@@ -550,10 +612,13 @@ class StreamProcessingEngine:
 
         if isinstance(job_graph, BuiltPipeline):
             pipeline = job_graph
-            if constraints or fault_plan is not None or actuation is not None or policy is not None:
+            if (
+                constraints or fault_plan is not None or actuation is not None
+                or policy is not None or stateful is not None
+            ):
                 raise TypeError(
                     "submit(pipeline) takes no separate constraints/fault_plan/"
-                    "actuation/policy — they are part of the BuiltPipeline"
+                    "actuation/policy/stateful — they are part of the BuiltPipeline"
                 )
             if self.observability is None and pipeline.observability is not None:
                 self.observability = pipeline.observability
@@ -564,6 +629,7 @@ class StreamProcessingEngine:
             fault_plan = pipeline.fault_plan
             actuation = pipeline.actuation
             policy = pipeline.policy
+            stateful = pipeline.stateful or None
         for job in self.jobs:
             if job.job_graph is job_graph:
                 raise RuntimeError("this job graph is already deployed")
@@ -572,6 +638,7 @@ class StreamProcessingEngine:
         job = DeployedJob(
             self, job_graph, constraints, probes,
             fault_plan=fault_plan, actuation=actuation, policy=policy,
+            stateful=stateful,
         )
         self.jobs.append(job)
         return job
@@ -609,6 +676,11 @@ class StreamProcessingEngine:
     def reconciler(self) -> Optional[ReconciliationController]:
         """Reconciliation controller of the first job (None if unsupervised)."""
         return self.jobs[0].reconciler if self.jobs else None
+
+    @property
+    def state_manager(self) -> Optional[StateManager]:
+        """Keyed-state manager of the first job (None if stateless)."""
+        return self.jobs[0].state_manager if self.jobs else None
 
     @property
     def constraints(self) -> List[LatencyConstraint]:

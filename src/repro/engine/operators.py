@@ -13,7 +13,10 @@ This module provides them as reusable, tested UDFs so applications
 * :class:`SampleUDF` — probabilistic pass-through sampling;
 * :class:`RateEstimatorUDF` — emits the window's observed arrival rate;
 * :class:`UnionTagUDF` — tags payloads with their origin (for merged
-  streams sharing one input queue).
+  streams sharing one input queue);
+* :class:`StatefulWindowedAggregateUDF` / :class:`KeyedJoinUDF` —
+  stateful operator models whose per-key state footprint feeds the
+  engine's state manager (migration and checkpoint cost accounting).
 """
 
 from __future__ import annotations
@@ -228,3 +231,112 @@ class UnionTagUDF(UDF):
 
     def process(self, payload: object):
         return ((self.tag, payload),)
+
+
+class StatefulWindowedAggregateUDF(KeyedAggregateUDF):
+    """Per-key windowed fold that reports its state footprint.
+
+    The stateful-operator model: identical to
+    :class:`KeyedAggregateUDF`, plus an optional ``state_probe`` hook
+    ``(key, delta_bytes)`` invoked on every fold step so the engine's
+    :class:`~repro.engine.state.StateManager` can account per-key state
+    size (and hence migration/checkpoint cost). With the default
+    ``state_probe=None`` the operator behaves exactly like its parent
+    and is usable standalone.
+    """
+
+    def __init__(
+        self,
+        window: float,
+        key_fn: Callable[[object], object],
+        fold_init: Callable[[], object],
+        fold: Callable[[object, object], object],
+        bytes_per_event: int = 64,
+        service_dist: Optional[Distribution] = None,
+        state_probe: Optional[Callable[[object, int], None]] = None,
+    ) -> None:
+        if bytes_per_event < 0:
+            raise ValueError(f"bytes_per_event must be >= 0 (got {bytes_per_event})")
+        super().__init__(window, key_fn, fold_init, fold, service_dist=service_dist)
+        self.bytes_per_event = bytes_per_event
+        self.state_probe = state_probe
+        inner_add = self._add
+
+        def probed_add(acc, payload):
+            if self.state_probe is not None:
+                self.state_probe(key_fn(payload), self.bytes_per_event)
+            return inner_add(acc, payload)
+
+        self._add = probed_add
+
+
+class KeyedJoinUDF(UDF):
+    """Symmetric hash join over two tagged input streams, keyed.
+
+    Payloads must be ``(tag, item)`` pairs (e.g. produced upstream by
+    :class:`UnionTagUDF` with tags ``"left"``/``"right"``). Each item is
+    buffered under its join key on its own side and joined against every
+    buffered item of the *other* side with the same key, emitting
+    ``(key, left_item, right_item)`` tuples. Buffers are count-bounded:
+    each side keeps at most ``max_per_key`` items per key (oldest
+    evicted first). The optional ``state_probe`` reports buffer growth
+    and eviction as byte deltas, like
+    :class:`StatefulWindowedAggregateUDF`.
+    """
+
+    LEFT = "left"
+    RIGHT = "right"
+
+    def __init__(
+        self,
+        key_fn: Callable[[object], object],
+        max_per_key: int = 16,
+        bytes_per_event: int = 64,
+        service_dist: Optional[Distribution] = None,
+        state_probe: Optional[Callable[[object, int], None]] = None,
+    ) -> None:
+        super().__init__(service_dist)
+        if max_per_key < 1:
+            raise ValueError(f"max_per_key must be >= 1 (got {max_per_key})")
+        if bytes_per_event < 0:
+            raise ValueError(f"bytes_per_event must be >= 0 (got {bytes_per_event})")
+        self.key_fn = key_fn
+        self.max_per_key = max_per_key
+        self.bytes_per_event = bytes_per_event
+        self.state_probe = state_probe
+        self._sides: Dict[str, Dict[object, List[object]]] = {
+            self.LEFT: {},
+            self.RIGHT: {},
+        }
+
+    def _probe(self, key: object, delta: int) -> None:
+        if self.state_probe is not None:
+            self.state_probe(key, delta)
+
+    def process(self, payload: object):
+        tag, item = payload
+        if tag not in self._sides:
+            raise ValueError(
+                f"KeyedJoinUDF payload tag must be {self.LEFT!r} or "
+                f"{self.RIGHT!r} (got {tag!r})"
+            )
+        key = self.key_fn(item)
+        mine = self._sides[tag].setdefault(key, [])
+        mine.append(item)
+        self._probe(key, self.bytes_per_event)
+        if len(mine) > self.max_per_key:
+            mine.pop(0)
+            self._probe(key, -self.bytes_per_event)
+        other_tag = self.RIGHT if tag == self.LEFT else self.LEFT
+        matches = self._sides[other_tag].get(key, ())
+        if tag == self.LEFT:
+            return tuple((key, item, m) for m in matches)
+        return tuple((key, m, item) for m in matches)
+
+    def buffered_items(self) -> int:
+        """Total buffered items across both sides (test/inspection aid)."""
+        return sum(
+            len(items)
+            for side in self._sides.values()
+            for items in side.values()
+        )

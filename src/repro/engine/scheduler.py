@@ -92,6 +92,13 @@ class Scheduler:
         #: optional MetricsRegistry; scaling/failure actions are counted
         #: under ``scheduler.*`` when set
         self.metrics = metrics
+        #: optional hook called with the crashing task *before* it fails;
+        #: returns extra recovery seconds added to the restart delay
+        #: (checkpoint-restore replay — set only for stateful jobs)
+        self.on_task_failed: Optional[Callable[[RuntimeTask], float]] = None
+        #: optional hook called with the vertex name after any action that
+        #: changed its target parallelism (state repartition sync)
+        self.on_rescaled: Optional[Callable[[str], None]] = None
         #: log of executed scaling actions: (time, vertex, old_p, new_p)
         self.scaling_log: List[tuple] = []
         #: log of crashed tasks: (time, task_id)
@@ -206,6 +213,7 @@ class Scheduler:
         current = rv.target_parallelism
         if target > current:
             self.scale_up(vertex_name, target - current)
+            self._notify_rescaled(vertex_name)
             return ScalingResult(target - current, target - current)
         if target < current:
             # Never drain tasks that have not materialized yet; reductions
@@ -214,8 +222,13 @@ class Scheduler:
             reducible = max(0, min(reducible, rv.parallelism - 1))
             if reducible > 0:
                 self.scale_down(vertex_name, reducible)
+                self._notify_rescaled(vertex_name)
             return ScalingResult(target - current, -reducible)
         return ScalingResult(0, 0)
+
+    def _notify_rescaled(self, vertex_name: str) -> None:
+        if self.on_rescaled is not None:
+            self.on_rescaled(vertex_name)
 
     def scale_up(self, vertex_name: str, count: int) -> None:
         """Announce ``count`` new tasks; they start after the startup delay."""
@@ -300,6 +313,12 @@ class Scheduler:
         rv = self.runtime.vertex(task.vertex_name)
         old_p = rv.parallelism
         rv.crashes += 1
+        # The state hook sees the task while it is still active (its rank
+        # identifies the lost partition) and returns the replay delay of
+        # checkpoint-restore recovery.
+        recovery_delay = 0.0
+        if self.on_task_failed is not None:
+            recovery_delay = self.on_task_failed(task)
         task.fail()
         self.failure_log.append((self.sim.now, task.task_id))
         self.scaling_log.append((self.sim.now, rv.name, old_p, rv.parallelism))
@@ -308,8 +327,14 @@ class Scheduler:
             if restart_delay < 0:
                 raise ValueError(f"restart_delay must be >= 0 (got {restart_delay})")
             rv.pending_additions += 1
-            self.sim.schedule(restart_delay, self._materialize_scale_up, rv, 1)
+            self.sim.schedule(
+                restart_delay + recovery_delay, self._materialize_scale_up, rv, 1
+            )
             self._count("scheduler.task_restarts")
+        else:
+            # No replacement: the vertex permanently lost a degree of
+            # parallelism, so keyed state must repartition onto survivors.
+            self._notify_rescaled(task.vertex_name)
         return True
 
     def fail_worker(

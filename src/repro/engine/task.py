@@ -216,6 +216,7 @@ class RuntimeTask:
 
         # processing state
         self._busy = False
+        self._paused_until = 0.0
         self._pop_time = 0.0
         self._backlog: Deque[Tuple[OutputGate, RuntimeChannel, DataItem]] = deque()
         self._blocked_on: Optional[RuntimeChannel] = None
@@ -365,7 +366,37 @@ class RuntimeTask:
         if self.state in (RUNNING, DRAINING) and not self._busy and self._blocked_on is None:
             self._start_next()
 
+    def pause(self, duration: float) -> None:
+        """Suspend item consumption for ``duration`` seconds.
+
+        Used by the state subsystem for checkpoint snapshots and
+        migration phases (quiesce/transfer/restore): queued items wait
+        out the pause and their latency grows accordingly. An item
+        already in service completes normally (quiesce waits for
+        in-flight work); overlapping pauses extend, never shorten.
+        Sources are unaffected — they consume nothing.
+        """
+        if duration <= 0 or self.state == STOPPED:
+            return
+        until = self.sim.now + duration
+        if until <= self._paused_until:
+            return
+        self._paused_until = until
+        # Fire-and-forget: the callback guards on the (possibly extended)
+        # pause end, so stale kicks are harmless.
+        self.sim.schedule_fire(duration, self._resume)
+
+    def _resume(self) -> None:
+        if self.state not in (RUNNING, DRAINING):
+            return
+        if self.sim.now < self._paused_until:
+            return  # extended by a later pause; its own kick resumes
+        if not self._busy and self._blocked_on is None:
+            self._start_next()
+
     def _start_next(self) -> None:
+        if self.sim.now < self._paused_until:
+            return  # paused (state snapshot/migration); resume kick pending
         if len(self.input_queue) == 0:
             if self.state == DRAINING:
                 self._check_drained()

@@ -122,6 +122,14 @@ def _shard_metrics(shard: Mapping[str, object]) -> Dict[str, Optional[float]]:
         # None = the run had no violation onsets; contributes nothing
         # (count records coverage) rather than a fake zero
         out["reaction/time_s"] = scaling.get("reaction_time_s")
+    state = shard.get("state") or {}
+    if state:
+        # stateful shards only; stateless runs contribute nothing so the
+        # metric's count records coverage honestly
+        out["recovery/time_s"] = state.get("recovery_time_s")
+        out["state/migrated_bytes"] = state.get("state_migrated_bytes")
+        migrations = state.get("migrations") or {}
+        out["state/migrations_deferred"] = migrations.get("deferred")
     for vertex, parallelism in sorted((shard.get("final_parallelism") or {}).items()):
         out[f"cost/parallelism/{vertex}"] = parallelism
     return out

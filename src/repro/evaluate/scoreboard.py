@@ -26,13 +26,17 @@ from typing import Dict, List, Mapping, Optional, Sequence
 #: bump when the scoreboard layout changes incompatibly
 SCOREBOARD_SCHEMA_VERSION = 1
 
-#: (column key, header, unit scale) of the rendered table
+#: (column key, header, unit scale) of the rendered table; the two
+#: state columns render "-" for stateless tournaments (no shard carries
+#: a state section) and therefore never crown a winner there
 _COLUMNS = (
     ("violation_rate", "viol rate", 1.0),
     ("task_hours", "task hours", 1.0),
     ("reaction_time_s", "reaction s", 1.0),
     ("fulfillment", "fulfill", 1.0),
     ("final_parallelism", "final p", 1.0),
+    ("recovery_time_s", "recovery s", 1.0),
+    ("state_migrated_bytes", "mig bytes", 1.0),
 )
 
 
@@ -92,6 +96,16 @@ def _shard_parallelism(shard: Mapping[str, object]) -> Optional[float]:
     return float(sum(final.values()))
 
 
+def _shard_recovery(shard: Mapping[str, object]) -> Optional[float]:
+    state = shard.get("state") or {}
+    return state.get("recovery_time_s")
+
+
+def _shard_migrated_bytes(shard: Mapping[str, object]) -> Optional[float]:
+    state = shard.get("state") or {}
+    return state.get("state_migrated_bytes")
+
+
 def build_scoreboard(aggregate: Mapping[str, object]) -> Dict[str, object]:
     """Condense a sweep aggregate into the per-policy scoreboard dict.
 
@@ -114,6 +128,8 @@ def build_scoreboard(aggregate: Mapping[str, object]) -> Dict[str, object]:
             "reaction_time_s": _mean([_shard_reaction(s) for s in members]),
             "fulfillment": _mean([_shard_fulfillment(s) for s in members]),
             "final_parallelism": _mean([_shard_parallelism(s) for s in members]),
+            "recovery_time_s": _mean([_shard_recovery(s) for s in members]),
+            "state_migrated_bytes": _mean([_shard_migrated_bytes(s) for s in members]),
         }
     grid = aggregate.get("grid") or {}
     return {

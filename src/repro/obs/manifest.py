@@ -221,6 +221,11 @@ def build_manifest(
     # so unsupervised manifests keep their pre-actuation byte layout.
     if reconciler is not None:
         data["actuation"] = reconciler.summary()
+    # Keyed-state section only for stateful jobs, same byte-stability
+    # contract: stateless manifests are unchanged.
+    state_manager = getattr(job, "state_manager", None)
+    if state_manager is not None:
+        data["state"] = state_manager.summary()
     if extra:
         collisions = sorted(set(extra) & set(data))
         if collisions:

@@ -21,8 +21,16 @@ Schema history
   ``scale-down-clamped``, plus the optional integer ``attempt`` field
   (which actuation attempt a record belongs to). v1 files remain
   readable (``attempt`` defaults to null); a v1 record using a v2-only
-  branch or the ``attempt`` field is a validation error. Writers always
-  emit the current version.
+  branch or the ``attempt`` field is a validation error.
+* **v3** — stateful migration lifecycle: new branches
+  ``migration-pending``, ``migration-failed``, ``migration-rolled-back``
+  and ``migration-deferred``, plus the optional integer ``state_bytes``
+  field (migrated/assessed state volume). v1/v2 files remain readable; a
+  pre-v3 record using a v3-only branch or ``state_bytes`` is a
+  validation error. Writers emit the lowest schema a record needs (≥2):
+  a record only stamps ``schema: 3`` when it uses a v3 branch or sets
+  ``state_bytes`` — and only then carries the ``state_bytes`` key — so
+  stateless traces stay byte-identical to pre-v3 output.
 """
 
 from __future__ import annotations
@@ -33,10 +41,13 @@ import os
 from typing import Dict, Iterable, Iterator, List, Optional
 
 #: bump when the record schema changes incompatibly
-TRACE_SCHEMA_VERSION = 2
+TRACE_SCHEMA_VERSION = 3
 
-#: schema versions this module can still read (v1 is a strict subset)
-SUPPORTED_TRACE_SCHEMAS = frozenset({1, TRACE_SCHEMA_VERSION})
+#: the schema a record without any v3 feature is written as
+_BASE_SCHEMA_VERSION = 2
+
+#: schema versions this module can still read (older are strict subsets)
+SUPPORTED_TRACE_SCHEMAS = frozenset({1, 2, TRACE_SCHEMA_VERSION})
 
 # --- branch names (which part of Algorithm 2 produced the record) -------
 BRANCH_REBALANCE = "rebalance"
@@ -74,10 +85,24 @@ V2_BRANCHES = frozenset({
     BRANCH_SCALE_DOWN_CLAMPED,
 })
 
-BRANCHES = V1_BRANCHES | V2_BRANCHES
+# --- v3 branches (stateful migration lifecycle) -------------------------
+BRANCH_MIGRATION_PENDING = "migration-pending"
+BRANCH_MIGRATION_FAILED = "migration-failed"
+BRANCH_MIGRATION_ROLLED_BACK = "migration-rolled-back"
+BRANCH_MIGRATION_DEFERRED = "migration-deferred"
+
+V3_BRANCHES = frozenset({
+    BRANCH_MIGRATION_PENDING,
+    BRANCH_MIGRATION_FAILED,
+    BRANCH_MIGRATION_ROLLED_BACK,
+    BRANCH_MIGRATION_DEFERRED,
+})
+
+BRANCHES = V1_BRANCHES | V2_BRANCHES | V3_BRANCHES
 
 #: the frozen field order of the JSONL schema (append-only by policy;
-#: ``attempt`` was appended in v2)
+#: ``attempt`` was appended in v2, ``state_bytes`` in v3 — the latter is
+#: omitted from serialized records when null, see TraceRecord.to_dict)
 TRACE_FIELDS = (
     "schema",
     "time",
@@ -97,6 +122,7 @@ TRACE_FIELDS = (
     "p_applied",
     "detail",
     "attempt",
+    "state_bytes",
 )
 
 
@@ -121,7 +147,7 @@ class TraceRecord:
         "time", "job", "round", "constraint", "vertex", "branch", "budget",
         "measured_wait", "predicted_wait", "e", "utilization",
         "utilization_at_target", "p_before", "p_target", "p_applied", "detail",
-        "attempt",
+        "attempt", "state_bytes",
     )
 
     def __init__(
@@ -143,6 +169,7 @@ class TraceRecord:
         p_applied: Optional[int] = None,
         detail: str = "",
         attempt: Optional[int] = None,
+        state_bytes: Optional[int] = None,
     ) -> None:
         if branch not in BRANCHES:
             raise ValueError(f"unknown trace branch {branch!r} (have: {sorted(BRANCHES)})")
@@ -163,12 +190,26 @@ class TraceRecord:
         self.p_applied = p_applied
         self.detail = detail
         self.attempt = attempt
+        self.state_bytes = state_bytes
+
+    def schema_version(self) -> int:
+        """The lowest schema this record needs (the version it is written as)."""
+        if self.branch in V3_BRANCHES or self.state_bytes is not None:
+            return TRACE_SCHEMA_VERSION
+        return _BASE_SCHEMA_VERSION
 
     def to_dict(self) -> Dict[str, object]:
-        """The record as a dict in the frozen schema field order."""
-        out: Dict[str, object] = {"schema": TRACE_SCHEMA_VERSION}
-        for field in TRACE_FIELDS[1:]:
+        """The record as a dict in the frozen schema field order.
+
+        Records are stamped with the lowest schema they need, and the
+        v3-only ``state_bytes`` key is omitted when null — so traces of
+        stateless runs stay byte-identical to pre-v3 output.
+        """
+        out: Dict[str, object] = {"schema": self.schema_version()}
+        for field in TRACE_FIELDS[1:-1]:
             out[field] = getattr(self, field)
+        if self.state_bytes is not None:
+            out["state_bytes"] = self.state_bytes
         return out
 
     @classmethod
@@ -273,7 +314,7 @@ _NUMERIC_OPTIONAL = (
     "budget", "measured_wait", "predicted_wait", "e",
     "utilization", "utilization_at_target",
 )
-_INT_OPTIONAL = ("p_before", "p_target", "p_applied", "attempt")
+_INT_OPTIONAL = ("p_before", "p_target", "p_applied", "attempt", "state_bytes")
 
 
 def validate_record_dict(data: Dict[str, object], line: int = 0) -> List[str]:
@@ -298,8 +339,12 @@ def validate_record_dict(data: Dict[str, object], line: int = 0) -> List[str]:
         errors.append(f"{where}branch {branch!r} not in {sorted(BRANCHES)}")
     elif schema == 1 and branch in V2_BRANCHES:
         errors.append(f"{where}branch {branch!r} requires schema >= 2")
+    elif schema in (1, 2) and branch in V3_BRANCHES:
+        errors.append(f"{where}branch {branch!r} requires schema >= 3")
     if schema == 1 and data.get("attempt") is not None:
         errors.append(f"{where}attempt field requires schema >= 2")
+    if schema in (1, 2) and data.get("state_bytes") is not None:
+        errors.append(f"{where}state_bytes field requires schema >= 3")
     vertex = data.get("vertex")
     if vertex is not None and not isinstance(vertex, str):
         errors.append(f"{where}vertex must be a string or null")
@@ -314,6 +359,8 @@ def validate_record_dict(data: Dict[str, object], line: int = 0) -> List[str]:
     if branch in (BRANCH_REBALANCE, BRANCH_BOTTLENECK) and vertex is None:
         errors.append(f"{where}{branch} records must name a vertex")
     if branch in V2_BRANCHES and vertex is None:
+        errors.append(f"{where}{branch} records must name a vertex")
+    if branch in V3_BRANCHES and vertex is None:
         errors.append(f"{where}{branch} records must name a vertex")
     return errors
 

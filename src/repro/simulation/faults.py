@@ -137,10 +137,28 @@ class ActuationDelay:
     factor: float = 3.0
 
 
+@dataclass(frozen=True)
+class MigrationFailure:
+    """Make state migrations fail mid-transfer for ``duration`` seconds.
+
+    Models a broken state-transfer path (blob store outage, partitioned
+    network between workers): any stateful rescale whose transfer phase
+    completes inside the window fails and rolls back to the pre-rescale
+    partitioning without state loss; the reconciler's retry/backoff and
+    watchdog machinery then re-attempts the rescale. ``vertex=None``
+    hits all vertices. No-op (recorded as such) when the job runs
+    without actuation supervision or has no stateful vertices.
+    """
+
+    at: float
+    duration: float
+    vertex: Optional[str] = None
+
+
 #: any schedulable fault spec
 FaultSpec = Union[
     TaskCrash, WorkerLoss, MeasurementDropout, ServiceSpike,
-    ActuationFailure, ActuationDelay,
+    ActuationFailure, ActuationDelay, MigrationFailure,
 ]
 
 
@@ -163,6 +181,11 @@ class FaultPlan:
             factor = getattr(spec, "factor", None)
             if factor is not None and factor <= 0:
                 raise ValueError(f"spike factor must be > 0 (got {spec!r})")
+            restart_delay = getattr(spec, "restart_delay", None)
+            if restart_delay is not None and restart_delay < 0:
+                raise ValueError(
+                    f"restart_delay must be >= 0 (got {spec!r})"
+                )
 
     def add(self, spec: FaultSpec) -> "FaultPlan":
         """Return a new plan with ``spec`` appended."""
@@ -248,6 +271,8 @@ class FaultInjector:
             self._inject_actuation_failure(spec)
         elif isinstance(spec, ActuationDelay):
             self._inject_actuation_delay(spec)
+        elif isinstance(spec, MigrationFailure):
+            self._inject_migration_failure(spec)
         else:  # pragma: no cover - plan validation catches this
             raise TypeError(f"unknown fault spec {spec!r}")
 
@@ -353,6 +378,18 @@ class FaultInjector:
         )
         self._notify_scaler()
         self.sim.schedule(spec.duration, self._recovered, "actuation_delay_end", target)
+
+    def _inject_migration_failure(self, spec: MigrationFailure) -> None:
+        target = spec.vertex if spec.vertex is not None else "*"
+        reconciler = getattr(self.job, "reconciler", None)
+        if reconciler is None or getattr(self.job, "state_manager", None) is None:
+            self._record("migration_failure", target, "noop:stateless-or-unsupervised")
+            return
+        until = self.sim.now + spec.duration
+        reconciler.fail_migrations(spec.vertex, until)
+        self._record("migration_failure", target, f"duration={spec.duration}")
+        self._notify_scaler()
+        self.sim.schedule(spec.duration, self._recovered, "migration_restored", target)
 
     def _recovered(self, kind: str, target: str) -> None:
         self._record(kind, target)

@@ -20,10 +20,12 @@ from repro.sweep.shard import ShardSpec, shard_key
 #: workload variants a shard can run (see shard.build_shard_pipeline):
 #: ``steady`` is the plain constant-rate pipeline, ``spike`` adds a
 #: deterministic service-time spike on the worker vertex, ``dropout``
-#: adds a QoS measurement dropout window, and ``twitter`` runs the
-#: paper's six-vertex TwitterSentiment job (diurnal rate + burst) scaled
-#: to the shard's rate/bound/duration.
-WORKLOADS = ("steady", "spike", "dropout", "twitter")
+#: adds a QoS measurement dropout window, ``twitter`` runs the paper's
+#: six-vertex TwitterSentiment job (diurnal rate + burst) scaled to the
+#: shard's rate/bound/duration, and ``stateful`` is the spike pipeline
+#: with a stateful worker (key-partitioned state, migration-priced
+#: rescales, checkpoint-restore crash recovery).
+WORKLOADS = ("steady", "spike", "dropout", "twitter", "stateful")
 
 #: bump when the grid layout changes incompatibly
 GRID_SCHEMA_VERSION = 1
@@ -151,6 +153,31 @@ class SweepGrid:
             bounds=(0.030,),
             workloads=("spike",),
             actuation=(False,),
+            duration=20.0,
+            policies=(
+                "scale-reactively", "cpu-threshold", "rate", "drs", "daedalus",
+            ),
+        )
+
+    @classmethod
+    def tournament_stateful(cls) -> "SweepGrid":
+        """The stateful policy tournament: migrations priced in.
+
+        Same race as :meth:`tournament` but on the ``stateful``
+        workload: the worker carries key-partitioned state, so every
+        rescale pays a migration pause and the migration-aware policies
+        (scale-reactively, drs) may defer rescales the stateless
+        contenders issue blindly. The scoreboard gains
+        ``recovery_time_s`` and ``state_migrated_bytes`` columns from
+        the shard's state section.
+        """
+        return cls(
+            name="tournament-stateful",
+            seeds=(1, 2),
+            rates=(400.0,),
+            bounds=(0.030,),
+            workloads=("stateful",),
+            actuation=(True,),
             duration=20.0,
             policies=(
                 "scale-reactively", "cpu-threshold", "rate", "drs", "daedalus",

@@ -196,6 +196,20 @@ def build_shard_pipeline(spec: ShardSpec, export_dir: Optional[str] = None):
             ),
             seed=spec.seed,
         )
+    elif spec.workload == "stateful":
+        # The spike scenario on a stateful worker: rescales now pay a
+        # key-migration pause, so migration-aware policies separate from
+        # the blind ones on the same deterministic violation.
+        builder.stateful("worker")
+        builder.inject(
+            ServiceSpike(
+                at=spec.duration * 0.25,
+                vertex="worker",
+                factor=3.0,
+                duration=spec.duration * 0.15,
+            ),
+            seed=spec.seed,
+        )
     if spec.actuation:
         builder.actuate()
     if export_dir is not None:
@@ -293,6 +307,11 @@ def run_shard(spec: ShardSpec, export_dir: Optional[str] = None) -> Dict[str, ob
         "constraints": constraints,
         "scaling": scaling,
         "actuation": job.reconciler.summary() if job.reconciler is not None else None,
+        "state": (
+            job.state_manager.summary()
+            if getattr(job, "state_manager", None) is not None
+            else None
+        ),
         "series": recorder.summary(),
     }
     if export_dir is not None:

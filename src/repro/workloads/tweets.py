@@ -20,6 +20,8 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.workloads.keys import ZipfKeySampler
+
 
 class Tweet:
     """One synthetic tweet payload."""
@@ -75,25 +77,13 @@ class TweetTraceGenerator:
         if self.params.n_topics < 1:
             raise ValueError("need at least one topic")
         self.topics: List[str] = [f"#topic{i:03d}" for i in range(self.params.n_topics)]
-        # Zipf CDF over the topic universe (rank 1 most popular).
-        weights = [1.0 / (rank ** self.params.zipf_s) for rank in range(1, self.params.n_topics + 1)]
-        total = sum(weights)
-        self._cdf: List[float] = []
-        acc = 0.0
-        for w in weights:
-            acc += w / total
-            self._cdf.append(acc)
+        # Zipf CDF over the topic universe (rank 1 most popular); one
+        # rng.random() per draw, shared with the stateful-operator key
+        # model (see repro.workloads.keys).
+        self._sampler = ZipfKeySampler(self.params.n_topics, self.params.zipf_s)
 
     def _draw_topic(self, rng: random.Random) -> str:
-        u = rng.random()
-        lo, hi = 0, len(self._cdf) - 1
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self._cdf[mid] < u:
-                lo = mid + 1
-            else:
-                hi = mid
-        return self.topics[lo]
+        return self.topics[self._sampler.sample_index(rng)]
 
     def _burst_topic(self, now: float, rng: random.Random) -> Optional[str]:
         for start, end, topic_index, concentration in self.params.bursts:

@@ -325,6 +325,18 @@ class TestReconciler:
         assert any(kind == "give-up" for _, kind, _, _, _ in rec.trace())
         assert engine.runtime.vertex("Worker").target_parallelism == 2
 
+    def test_give_up_counts_as_abandoned(self):
+        engine = deploy()
+        rec, _ = make_reconciler(engine, max_retries=0)
+        rec.fail_actuations("Worker", until=1e9)
+        rec.request("Worker", 4)
+        engine.run(1.0)
+        assert rec.abandoned == 1
+        summary = rec.summary()
+        assert summary["abandoned"] == 1
+        # the migrations section appears only on stateful jobs
+        assert "migrations" not in summary
+
     def test_timeout_counts_as_failure(self):
         engine = deploy()
         rec, _ = make_reconciler(

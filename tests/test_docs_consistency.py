@@ -37,6 +37,7 @@ class TestPublicApi:
             "repro.graphs",
             "repro.engine",
             "repro.engine.operators",
+            "repro.engine.state",
             "repro.qos",
             "repro.qos.diagnostics",
             "repro.core",
@@ -50,6 +51,7 @@ class TestPublicApi:
             "repro.actuation.reconciler",
             "repro.analysis",
             "repro.workloads",
+            "repro.workloads.keys",
             "repro.workloads.traces",
             "repro.builder",
             "repro.experiments",

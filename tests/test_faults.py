@@ -337,6 +337,15 @@ class TestPlanValidation:
         with pytest.raises(ValueError, match="factor must be > 0"):
             FaultPlan((ServiceSpike(at=1.0, vertex="w", factor=0.0),))
 
+    def test_negative_restart_delay_rejected(self):
+        with pytest.raises(ValueError, match="restart_delay must be >= 0"):
+            FaultPlan((TaskCrash(at=1.0, vertex="w", restart_delay=-0.5),))
+        with pytest.raises(ValueError, match="restart_delay must be >= 0"):
+            FaultPlan((WorkerLoss(at=1.0, restart_delay=-1.0),))
+        # None (no restart) and zero (immediate) both stay legal
+        FaultPlan((TaskCrash(at=1.0, vertex="w", restart_delay=None),))
+        FaultPlan((TaskCrash(at=1.0, vertex="w", restart_delay=0.0),))
+
     def test_builder_rejects_unknown_vertex(self):
         builder = (
             PipelineBuilder("p")

@@ -168,6 +168,17 @@ GOLDEN_ACTUATION_RECORD = (
     '"detail": "retry in 2.000s", "attempt": 2}'
 )
 
+#: a v3-only record: a state migration with the moved-bytes field
+GOLDEN_MIGRATION_RECORD = (
+    '{"schema": 3, "time": 52.25, "job": "obs-test", "round": 0, '
+    '"constraint": "*", "vertex": "worker", "branch": "migration-pending", '
+    '"budget": null, "measured_wait": null, "predicted_wait": null, '
+    '"e": null, "utilization": null, "utilization_at_target": null, '
+    '"p_before": 4, "p_target": 8, "p_applied": null, '
+    '"detail": "migrating 98304 bytes", "attempt": 1, '
+    '"state_bytes": 98304}'
+)
+
 
 class TestTraceSchema:
     def test_field_order_is_frozen(self):
@@ -175,7 +186,7 @@ class TestTraceSchema:
             "schema", "time", "job", "round", "constraint", "vertex",
             "branch", "budget", "measured_wait", "predicted_wait", "e",
             "utilization", "utilization_at_target", "p_before", "p_target",
-            "p_applied", "detail", "attempt",
+            "p_applied", "detail", "attempt", "state_bytes",
         )
 
     def test_golden_round_trip(self):
@@ -213,6 +224,38 @@ class TestTraceSchema:
         data = json.loads(GOLDEN_RECORD_V1)
         data["attempt"] = 1
         assert any("requires schema >= 2" in e for e in validate_record_dict(data))
+
+    def test_golden_migration_round_trip(self):
+        data = json.loads(GOLDEN_MIGRATION_RECORD)
+        record = TraceRecord.from_dict(data)
+        assert record.state_bytes == 98304
+        assert record.schema_version() == 3
+        assert record.to_dict() == data
+        assert validate_record_dict(data) == []
+
+    def test_v3_fields_only_emitted_when_used(self):
+        # A record without migration content serializes as v2 with no
+        # state_bytes key — pre-existing exports stay byte-identical.
+        record = TraceRecord(
+            1.0, "e2e", BRANCH_REBALANCE, vertex="worker", p_before=2, p_target=3
+        )
+        out = record.to_dict()
+        assert out["schema"] == 2
+        assert "state_bytes" not in out
+
+    def test_pre_v3_records_cannot_use_v3_branches_or_state_bytes(self):
+        for base in (GOLDEN_RECORD_V1, GOLDEN_RECORD):
+            data = json.loads(base)
+            data["branch"] = "migration-pending"
+            assert any("requires schema >= 3" in e for e in validate_record_dict(data))
+            data = json.loads(base)
+            data["state_bytes"] = 1024
+            assert any("requires schema >= 3" in e for e in validate_record_dict(data))
+
+    def test_v3_branch_must_name_vertex(self):
+        data = json.loads(GOLDEN_MIGRATION_RECORD)
+        data["vertex"] = None
+        assert any("must name a vertex" in e for e in validate_record_dict(data))
 
     def test_unknown_branch_rejected(self):
         with pytest.raises(ValueError):
@@ -522,8 +565,13 @@ class TestEndToEnd:
         assert Dashboard(off_engine).decisions_section() == "(decision tracing off)"
 
     def test_schema_version_in_every_exported_line(self, tmp_path):
+        # Writers emit the lowest schema each record needs: a stateless
+        # run never uses v3 branches/fields, so every line stays v2 —
+        # pre-v3 consumers keep parsing these exports unchanged.
         engine, job = self._run_with_obs(tmp_path, duration=60.0)
         paths = engine.export_run()
         with open(paths["trace"]) as f:
             for line in f:
-                assert json.loads(line)["schema"] == TRACE_SCHEMA_VERSION
+                schema = json.loads(line)["schema"]
+                assert schema == 2
+                assert schema <= TRACE_SCHEMA_VERSION

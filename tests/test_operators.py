@@ -169,3 +169,86 @@ class TestOperatorsInEngine:
         steady = rates[2:-1]
         assert steady
         assert sum(steady) / len(steady) == pytest.approx(150.0, rel=0.05)
+
+
+class TestStatefulWindowedAggregate:
+    def _udf(self, probe=None):
+        from repro.engine.operators import StatefulWindowedAggregateUDF
+
+        return StatefulWindowedAggregateUDF(
+            1.0,
+            key_fn=lambda d: d[0],
+            fold_init=lambda: 0,
+            fold=lambda acc, d: acc + d[1],
+            bytes_per_event=48,
+            state_probe=probe,
+        )
+
+    def test_behaves_like_keyed_aggregate_without_probe(self):
+        udf = self._udf()
+        for item in (("a", 1), ("b", 2), ("a", 3)):
+            udf.process(item)
+        assert dict(udf.flush()) == {"a": 4, "b": 2}
+
+    def test_probe_reports_every_fold_step(self):
+        deltas = []
+        udf = self._udf(probe=lambda key, nbytes: deltas.append((key, nbytes)))
+        for item in (("a", 1), ("b", 2), ("a", 3)):
+            udf.process(item)
+        assert deltas == [("a", 48), ("b", 48), ("a", 48)]
+
+    def test_rejects_negative_bytes_per_event(self):
+        from repro.engine.operators import StatefulWindowedAggregateUDF
+
+        with pytest.raises(ValueError, match="bytes_per_event"):
+            StatefulWindowedAggregateUDF(
+                1.0, key_fn=lambda d: d, fold_init=lambda: 0,
+                fold=lambda acc, d: acc, bytes_per_event=-1,
+            )
+
+
+class TestKeyedJoin:
+    def _udf(self, probe=None, max_per_key=16):
+        from repro.engine.operators import KeyedJoinUDF
+
+        return KeyedJoinUDF(
+            key_fn=lambda item: item["k"],
+            max_per_key=max_per_key,
+            bytes_per_event=32,
+            state_probe=probe,
+        )
+
+    def test_joins_matching_keys_across_sides(self):
+        udf = self._udf()
+        assert udf.process(("left", {"k": 1, "v": "l1"})) == ()
+        out = udf.process(("right", {"k": 1, "v": "r1"}))
+        assert out == ((1, {"k": 1, "v": "l1"}, {"k": 1, "v": "r1"}),)
+        # a later left item joins against the buffered right item too
+        out = udf.process(("left", {"k": 1, "v": "l2"}))
+        assert out == ((1, {"k": 1, "v": "l2"}, {"k": 1, "v": "r1"}),)
+
+    def test_non_matching_keys_emit_nothing(self):
+        udf = self._udf()
+        assert udf.process(("left", {"k": 1})) == ()
+        assert udf.process(("right", {"k": 2})) == ()
+        assert udf.buffered_items() == 2
+
+    def test_buffers_are_count_bounded(self):
+        deltas = []
+        udf = self._udf(probe=lambda key, nbytes: deltas.append(nbytes),
+                        max_per_key=2)
+        for i in range(4):
+            udf.process(("left", {"k": 1, "i": i}))
+        assert udf.buffered_items() == 2
+        # two evictions reported as negative deltas
+        assert deltas.count(-32) == 2
+        assert deltas.count(32) == 4
+
+    def test_rejects_unknown_tags_and_bad_params(self):
+        from repro.engine.operators import KeyedJoinUDF
+
+        udf = self._udf()
+        with pytest.raises(ValueError, match="tag"):
+            udf.process(("middle", {"k": 1}))
+        with pytest.raises(ValueError, match="max_per_key"):
+            KeyedJoinUDF(key_fn=lambda item: item, max_per_key=0)

@@ -1,0 +1,88 @@
+"""Property-based tests (hypothesis) for keyed-state migrations.
+
+The invariant the migration protocol promises: key→bytes content is
+*conserved* across any sequence of planned migrations, whether each
+plan is applied (transfer completed) or rolled back (transfer failed) —
+no key is ever dropped, duplicated, or resized by repartitioning alone.
+Placement stays consistent too: after any such sequence every key lives
+exactly in the partition its stable hash selects, and the moved-bytes
+accounting of a plan matches the keys that actually relocate.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.state import KeyedState, stable_key_hash
+
+keys = st.one_of(
+    st.text(min_size=1, max_size=8),
+    st.integers(min_value=0, max_value=10_000),
+)
+contents = st.dictionaries(keys, st.integers(min_value=1, max_value=10_000),
+                           max_size=50)
+parallelisms = st.integers(min_value=1, max_value=12)
+#: a migration step: target parallelism + whether the transfer succeeds
+steps = st.lists(st.tuples(parallelisms, st.booleans()), max_size=8)
+
+
+def make_state(content, parallelism):
+    state = KeyedState("v", parallelism)
+    for key, nbytes in content.items():
+        state.add(key, nbytes)
+    return state
+
+
+def placement_holds(state):
+    return all(
+        stable_key_hash(key) % state.parallelism == index
+        for index, partition in enumerate(state._partitions)
+        for key in partition
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(content=contents, p0=parallelisms, migrations=steps)
+def test_keys_are_conserved_across_any_migration_sequence(content, p0, migrations):
+    state = make_state(content, p0)
+    for target, succeeds in migrations:
+        plan = state.plan_migration(target)
+        if succeeds:
+            state.apply(plan)
+            assert state.parallelism == target
+        else:
+            # the transfer dies mid-flight; rollback must be lossless
+            state.apply(plan)
+            state.rollback(plan)
+            assert state.parallelism == plan.p_from
+        assert state.items() == content
+        assert state.total_bytes == sum(content.values())
+        assert placement_holds(state)
+
+
+@settings(max_examples=200, deadline=None)
+@given(content=contents, p0=parallelisms, target=parallelisms)
+def test_plan_accounting_matches_actual_relocation(content, p0, target):
+    state = make_state(content, p0)
+    plan = state.plan_migration(target)
+    relocating = {
+        key
+        for key in content
+        if stable_key_hash(key) % p0 != stable_key_hash(key) % target
+    }
+    assert set(plan.moved_keys) == relocating
+    assert plan.moved_bytes == sum(content[key] for key in relocating)
+    # planning is pure: the state is untouched
+    assert state.items() == content
+    assert state.parallelism == p0
+
+
+@settings(max_examples=100, deadline=None)
+@given(content=contents, p0=parallelisms)
+def test_same_parallelism_migration_moves_nothing(content, p0):
+    state = make_state(content, p0)
+    plan = state.plan_migration(p0)
+    assert plan.moved_keys == ()
+    assert plan.moved_bytes == 0
+    assert state.repartition(p0) == 0
