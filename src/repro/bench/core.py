@@ -28,8 +28,16 @@ The macro benchmark (``macro_twitter``) runs the reduced elastic
 TwitterSentiment job (Fig. 8 ``--quick`` parameterization) end to end —
 tasks, channels, QoS sampling, scaler — and records wall time and
 simulator events/sec. It has no legacy twin (the whole engine cannot be
-dual-hosted), so its absolute numbers are trajectory data, not a CI
-gate.
+dual-hosted), so regression checks gate its ``kernel_relative`` ratio
+instead: macro events/sec divided by the *legacy* kernel's raw
+events/sec measured in the same process. Machine speed cancels out of
+the ratio, so the gate works across differently-sized runners just like
+the micro speedups; a fresh ratio below the relative tolerance × the
+committed ratio means the engine layer (not the machine) got slower.
+
+``--profile PATH`` additionally runs the macro workload under
+``cProfile`` and dumps binary ``pstats`` data to ``PATH`` — CI uploads
+it as an artifact so a regression comes with its own flame-graph food.
 """
 
 from __future__ import annotations
@@ -199,7 +207,16 @@ def run_benchmarks(quick: bool = False, macro: bool = True) -> Dict[str, object]
             "speedup": round(current / baseline, 3) if baseline > 0 else 0.0,
         }
     if macro:
-        benchmarks["macro_twitter"] = _bench_macro_twitter(quick)
+        macro_result = _bench_macro_twitter(quick)
+        kernel_baseline = benchmarks["kernel"]["baseline_events_per_sec"]
+        if kernel_baseline > 0:
+            # machine-independent gate metric: engine-layer throughput as
+            # a fraction of the legacy kernel's raw event rate, measured
+            # in the same process so machine speed cancels out
+            macro_result["kernel_relative"] = round(
+                macro_result["events_per_sec"] / kernel_baseline, 6
+            )
+        benchmarks["macro_twitter"] = macro_result
     return {
         "schema": BENCH_SCHEMA_VERSION,
         "kind": "BENCH_core",
@@ -244,16 +261,19 @@ def check_regression(
 ) -> List[str]:
     """Compare a fresh run against the committed baseline file.
 
-    Only machine-independent *speedup factors* are compared: a fresh
-    micro speedup below ``tolerance`` × the committed speedup (default:
-    a >30% regression) produces a failure message. Absolute events/sec
-    and the macro numbers are trajectory data and never gate.
+    Only machine-independent metrics are compared: the micro benchmarks'
+    *speedup factors* and the macro benchmark's *kernel-relative* ratio
+    (macro events/sec ÷ same-process legacy-kernel events/sec). A fresh
+    value below ``tolerance`` × the committed value (default: a >30%
+    regression) produces a failure message. Absolute events/sec are
+    trajectory data and never gate.
 
     When the fresh run's mode (``--quick``) differs from the committed
     baseline's, the tolerance is squared (0.7 → 0.49): micro speedups
-    shift with event-count-dependent heap sizes, so a cross-mode
-    comparison needs the wider band. Real fast-path regressions
-    (2-6x → 1x) blow through either floor.
+    shift with event-count-dependent heap sizes and the macro ratio with
+    the shorter virtual duration, so a cross-mode comparison needs the
+    wider band. Real fast-path regressions (2-6x → 1x) blow through
+    either floor.
     """
     failures: List[str] = []
     if bool(fresh.get("quick")) != bool(committed.get("quick")):
@@ -261,18 +281,27 @@ def check_regression(
     fresh_benches = fresh.get("benchmarks", {})
     committed_benches = committed.get("benchmarks", {})
     for name, reference in committed_benches.items():
-        if not isinstance(reference, dict) or "speedup" not in reference:
+        if not isinstance(reference, dict):
+            continue
+        if "speedup" in reference:
+            metric, label = "speedup", "speedup"
+        elif "kernel_relative" in reference:
+            metric, label = "kernel_relative", "kernel-relative throughput"
+        else:
             continue
         result = fresh_benches.get(name)
         if result is None:
             failures.append(f"{name}: missing from fresh run")
             continue
-        floor = tolerance * float(reference["speedup"])
-        got = float(result["speedup"])
+        if metric not in result:
+            failures.append(f"{name}: fresh run lacks the {label} metric")
+            continue
+        floor = tolerance * float(reference[metric])
+        got = float(result[metric])
         if got < floor:
             failures.append(
-                f"{name}: speedup {got:.2f}x regressed below "
-                f"{floor:.2f}x (committed {float(reference['speedup']):.2f}x, "
+                f"{name}: {label} {got:.2f}x regressed below "
+                f"{floor:.2f}x (committed {float(reference[metric]):.2f}x, "
                 f"tolerance {tolerance:.0%})"
             )
     return failures
@@ -293,12 +322,34 @@ def format_results(results: Dict[str, object]) -> str:
                 f"speedup {bench['speedup']:.2f}x"
             )
         else:
+            relative = (
+                f"   kernel-relative {bench['kernel_relative']:.2f}x"
+                if "kernel_relative" in bench else ""
+            )
             lines.append(
                 f"  {name:<16s} {bench['events_per_sec']:>12,.0f} ev/s   "
                 f"{bench['fired_events']:,} events in {bench['wall_time_s']:.2f}s wall "
-                f"({bench['virtual_time_s']:.0f}s virtual)"
+                f"({bench['virtual_time_s']:.0f}s virtual){relative}"
             )
     return "\n".join(lines)
+
+
+def profile_macro(path: str, quick: bool = True) -> str:
+    """Run the macro workload under cProfile; dump pstats data to ``path``.
+
+    The dump loads back with ``pstats.Stats(path)`` (or any flame-graph
+    converter that reads pstats). Returns the path.
+    """
+    import cProfile
+
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _bench_macro_twitter(quick)
+    profiler.disable()
+    profiler.dump_stats(path)
+    return path
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -310,11 +361,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--out", default=BENCH_FILE)
     parser.add_argument("--check", metavar="BASELINE", default=None)
     parser.add_argument("--no-macro", action="store_true")
+    parser.add_argument("--profile", metavar="PATH", default=None)
     args = parser.parse_args(argv)
     results = run_benchmarks(quick=args.quick, macro=not args.no_macro)
     path = write_results(results, args.out)
     print(format_results(results))
     print(f"wrote {path}")
+    if args.profile is not None:
+        profile_path = profile_macro(args.profile, quick=args.quick)
+        print(f"macro cProfile dump: {profile_path}")
     if args.check is not None:
         committed = load_results(args.check)
         failures = check_regression(results, committed)

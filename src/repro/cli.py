@@ -108,6 +108,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=7, help="engine seed")
     run.add_argument("--obs-dir", metavar="DIR", default="obs-run",
                      help="export directory for manifest/metrics/trace")
+    run.add_argument("--partitions", type=int, default=None, metavar="N",
+                     help="run the scenario partitioned across N worker "
+                          "processes and merge the slice artifacts "
+                          "deterministically (see repro.sweep.partition)")
+    run.add_argument("--slices", type=int, default=4, metavar="K",
+                     help="with --partitions: number of independent slice "
+                          "jobs the scenario is split into (fixed per plan, "
+                          "so merged output is byte-identical for any N)")
+    run.add_argument("--scenario", choices=("steady", "spike", "dropout",
+                                            "stateful", "twitter"),
+                     default="steady",
+                     help="with --partitions: which shard scenario to slice")
+    run.add_argument("--retries", type=int, default=2,
+                     help="with --partitions: per-slice retries after a "
+                          "worker crash")
     _add_policy_flag(run)
 
     chaos = sub.add_parser("chaos", help="run a deterministic fault-injection scenario")
@@ -222,10 +237,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", metavar="PATH", default="BENCH_core.json",
                        help="results file to write (default: BENCH_core.json)")
     bench.add_argument("--check", metavar="BASELINE", default=None,
-                       help="compare micro speedups against a committed results "
-                            "file; exit 1 on >30%% regression")
+                       help="compare micro speedups and the macro's "
+                            "kernel-relative throughput against a committed "
+                            "results file; exit 1 on >30%% regression")
     bench.add_argument("--no-macro", action="store_true",
                        help="skip the elastic TwitterSentiment macro benchmark")
+    bench.add_argument("--profile", metavar="PATH", default=None,
+                       help="additionally run the macro workload under cProfile "
+                            "and dump pstats data to PATH")
 
     comp = sub.add_parser(
         "compare", help="evaluate runs against a committed baseline"
@@ -364,10 +383,90 @@ def _run_obs(args: argparse.Namespace) -> None:
         print(f"  {kind:<9s} {path}")
 
 
+def _run_partitioned(args: argparse.Namespace) -> int:
+    from repro.sweep.partition import (
+        PARTITION_STATS_FILE,
+        PartitionError,
+        PartitionPlan,
+        run_partitioned,
+    )
+
+    try:
+        plan = PartitionPlan(
+            scenario=args.scenario,
+            seed=args.seed,
+            rate=args.rate,
+            bound=args.bound,
+            duration=args.duration,
+            policy=args.policy if args.policy is not None else "scale-reactively",
+            slices=args.slices,
+        )
+        merged = run_partitioned(
+            plan,
+            out=args.obs_dir,
+            partitions=args.partitions,
+            max_retries=args.retries,
+            progress=lambda message: print(f"  {message}"),
+        )
+    except PartitionError as exc:
+        print(f"partitioned run failed: {exc}")
+        return 1
+    totals = merged["totals"]
+    print(f"partitioned run: scenario={plan.scenario}, {plan.slices} slices "
+          f"x {plan.duration:.0f}s across {args.partitions} workers")
+    print(f"fired events (all slices): {totals['fired_events']}")
+    for name, bucket in sorted(totals["constraints"].items()):
+        print(f"constraint {name}: fulfillment "
+              f"{bucket['fulfillment_ratio'] * 100:.2f}% "
+              f"({bucket['violations']}/{bucket['intervals']} violated)")
+    print(f"merged artifacts in {args.obs_dir}/ "
+          f"(wall-clock stats: {PARTITION_STATS_FILE})")
+    return 0
+
+
+def _check_manifest(manifest_path: str) -> list:
+    """Validate a manifest file: a plain run's or a partitioned merge's.
+
+    A partitioned run's merged manifest wraps one plain manifest per
+    slice; every slice manifest must itself be schema-valid.
+    """
+    import json
+
+    from repro.obs.manifest import MANIFEST_SCHEMA_VERSION, RunManifest
+    from repro.sweep.partition import PARTITION_SCHEMA_VERSION
+
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (ValueError, OSError) as exc:
+        return [f"{manifest_path}: {exc}"]
+    if "partition_schema" not in data:
+        try:
+            RunManifest.read(manifest_path)
+        except (ValueError, OSError) as exc:
+            return [f"{manifest_path}: {exc}"]
+        return []
+    errors = []
+    if data["partition_schema"] != PARTITION_SCHEMA_VERSION:
+        errors.append(
+            f"{manifest_path}: unsupported partition schema "
+            f"{data['partition_schema']!r} (expected {PARTITION_SCHEMA_VERSION})"
+        )
+    for index, entry in enumerate(data.get("slices") or []):
+        if not isinstance(entry, dict):
+            errors.append(f"{manifest_path}: slice {index} manifest is missing")
+        elif entry.get("schema") != MANIFEST_SCHEMA_VERSION:
+            errors.append(
+                f"{manifest_path}: slice {index} has unsupported manifest "
+                f"schema {entry.get('schema')!r} (expected {MANIFEST_SCHEMA_VERSION})"
+            )
+    return errors
+
+
 def _trace_check(obs_dir: str) -> int:
     import os
 
-    from repro.obs.manifest import MANIFEST_FILE, RunManifest, TRACE_FILE
+    from repro.obs.manifest import MANIFEST_FILE, TRACE_FILE
     from repro.obs.trace import validate_trace_file
 
     trace_path = os.path.join(obs_dir, TRACE_FILE)
@@ -378,10 +477,7 @@ def _trace_check(obs_dir: str) -> int:
     else:
         errors.append(f"missing {trace_path}")
     if os.path.exists(manifest_path):
-        try:
-            RunManifest.read(manifest_path)
-        except (ValueError, OSError) as exc:
-            errors.append(f"{manifest_path}: {exc}")
+        errors.extend(_check_manifest(manifest_path))
     else:
         errors.append(f"missing {manifest_path}")
     if errors:
@@ -842,6 +938,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _run_experiment(name, args.quick, args.csv)
         return 0
     if args.command == "run":
+        if args.partitions is not None:
+            return _run_partitioned(args)
         _run_obs(args)
         return 0
     if args.command == "bench":
@@ -854,6 +952,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             bench_argv.append("--no-macro")
         if args.check is not None:
             bench_argv.extend(["--check", args.check])
+        if args.profile is not None:
+            bench_argv.extend(["--profile", args.profile])
         return bench_main(bench_argv)
     if args.command == "chaos":
         _run_chaos(args)

@@ -20,6 +20,7 @@ per logical channel. The channel itself is the unit of *flow control*:
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Callable, Deque, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.engine.items import DataItem
@@ -81,6 +82,13 @@ class NetworkModel:
 class RuntimeChannel:
     """A point-to-point channel of the runtime graph (paper Sec. II-A2)."""
 
+    __slots__ = (
+        "channel_id", "sim", "producer", "consumer", "network", "edge_name",
+        "capacity", "reporter", "_outstanding", "_pending",
+        "_pending_listener_armed", "_unblock_waiters", "closed",
+        "items_emitted", "items_delivered", "batches_shipped",
+    )
+
     _ids = 0
 
     def __init__(
@@ -141,7 +149,11 @@ class RuntimeChannel:
         return True
 
     def ship(self, items: Sequence[DataItem], batch_bytes: int) -> None:
-        """Put a flushed sub-batch on the wire towards the consumer."""
+        """Put a flushed sub-batch on the wire towards the consumer.
+
+        Ownership: the caller hands ``items`` over and must not mutate the
+        container afterwards (the gate always passes a fresh tuple/list).
+        """
         if self.closed:
             return
         now = self.sim.now
@@ -153,8 +165,15 @@ class RuntimeChannel:
         if self.batches_shipped == 0:
             transfer += self.network.connection_setup
         self.batches_shipped += 1
-        # Fire-and-forget: never cancelled (_arrive drops on closed channels).
-        self.sim.schedule_fire(transfer, self._arrive, list(items))
+        # sim.schedule_fire(transfer, self._arrive, items), inlined:
+        # fire-and-forget (never cancelled; _arrive drops on closed channels).
+        sim = self.sim
+        seq = sim._seq
+        sim._seq = seq + 1
+        heap = sim._heap
+        heappush(heap, (now + transfer, seq, self._arrive, (items,)))
+        if len(heap) > sim._max_heap:
+            sim._max_heap = len(heap)
 
     def add_unblock_waiter(self, callback: Callable[[], None]) -> None:
         """Register a one-shot callback fired when credits free up."""
@@ -174,19 +193,35 @@ class RuntimeChannel:
         if self.closed:
             self._pending.clear()
             return
+        pending = self._pending
         queue = self.consumer.input_queue
-        while self._pending:
-            item = self._pending[0]
-            if not queue.try_put(item, self):
+        entries = queue._items
+        capacity = queue.capacity
+        sim = self.sim
+        on_item_enqueued = self.consumer.on_item_enqueued
+        # on_item_enqueued may synchronously consume (freeing space and
+        # re-entering delivery), so every bound below is re-checked per
+        # iteration against the shared deque objects.
+        while pending:
+            if len(entries) >= capacity:
                 if not self._pending_listener_armed:
                     self._pending_listener_armed = True
                     queue.add_space_listener(self._on_queue_space)
                 return
-            self._pending.popleft()
-            item.enqueued_at = self.sim.now
+            item = pending.popleft()
+            entries.append((item, self))
+            queue.total_enqueued += 1
+            item.enqueued_at = sim.now
             self.items_delivered += 1
-            self._release_one()
-            self.consumer.on_item_enqueued(self)
+            # _release_one, inlined (one credit back per delivered item).
+            outstanding = self._outstanding
+            if outstanding > 0:
+                self._outstanding = outstanding = outstanding - 1
+            if self._unblock_waiters and outstanding < self.capacity:
+                waiters, self._unblock_waiters = self._unblock_waiters, []
+                for waiter in waiters:
+                    waiter()
+            on_item_enqueued(self)
 
     def _on_queue_space(self) -> None:
         self._pending_listener_armed = False

@@ -127,6 +127,10 @@ class EngineConfig:
     worker_speed_factors: Optional[Tuple[float, ...]] = None
     #: root RNG seed for reproducibility
     seed: int = 7
+    #: block pre-draw of per-task service times (numpy-vectorized where
+    #: the distribution allows; bit-identical to scalar draws, so this
+    #: only changes speed — the toggle exists for the determinism tests)
+    vectorized_sampling: bool = True
 
     # ------------------------------------------------------------------
     # presets mirroring the paper's configurations (Sec. III-B)
@@ -219,6 +223,7 @@ class DeployedJob:
             channel_capacity=config.channel_capacity,
             item_size=config.item_size,
             startup_delay=config.startup_delay,
+            vectorized=config.vectorized_sampling,
             on_task_created=self._on_task_created,
             on_channel_created=self._on_channel_created,
             metrics=engine.metrics,

@@ -10,7 +10,10 @@ alias across broadcast copies.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
+
+#: positional layout of :meth:`DataItem.to_record` tuples
+RECORD_FIELDS = ("payload", "created_at", "size", "emitted_at", "enqueued_at", "sampled")
 
 
 class DataItem:
@@ -41,6 +44,27 @@ class DataItem:
     def hop_copy(self) -> "DataItem":
         """Clone for the next hop, preserving provenance fields only."""
         return DataItem(self.payload, self.created_at, self.size, self.sampled)
+
+    def to_record(self) -> Tuple:
+        """The item's compact record form: a plain tuple (see RECORD_FIELDS).
+
+        Records are what batched hot paths pass around instead of objects
+        — no per-item ``__dict__``/slot descriptor overhead, C-speed
+        construction, and trivially picklable for partition workers.
+        :meth:`from_record` restores an equal item (all fields, including
+        per-hop timestamps — unlike :meth:`hop_copy`, which resets them).
+        """
+        return (self.payload, self.created_at, self.size,
+                self.emitted_at, self.enqueued_at, self.sampled)
+
+    @classmethod
+    def from_record(cls, record: Tuple) -> "DataItem":
+        """Rebuild a :class:`DataItem` equal to the one ``to_record`` saw."""
+        payload, created_at, size, emitted_at, enqueued_at, sampled = record
+        item = cls(payload, created_at, size, sampled)
+        item.emitted_at = emitted_at
+        item.enqueued_at = enqueued_at
+        return item
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"DataItem(created_at={self.created_at:.6f}, size={self.size})"

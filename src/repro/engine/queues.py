@@ -26,6 +26,8 @@ class BoundedQueue:
     deliver parked batches.
     """
 
+    __slots__ = ("capacity", "_items", "_space_listeners", "total_enqueued")
+
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"queue capacity must be >= 1 (got {capacity})")

@@ -73,6 +73,7 @@ class Scheduler:
         channel_capacity: int = 256,
         item_size: int = 256,
         startup_delay: float = 1.5,
+        vectorized: bool = True,
         on_task_created: Optional[Callable[[RuntimeTask], None]] = None,
         on_channel_created: Optional[Callable[[RuntimeChannel], None]] = None,
         metrics=None,
@@ -87,6 +88,7 @@ class Scheduler:
         self.channel_capacity = channel_capacity
         self.item_size = item_size
         self.startup_delay = startup_delay
+        self.vectorized = vectorized
         self.on_task_created = on_task_created
         self.on_channel_created = on_channel_created
         #: optional MetricsRegistry; scaling/failure actions are counted
@@ -138,6 +140,7 @@ class Scheduler:
             rng,
             queue_capacity=self.queue_capacity,
             item_size=self.item_size,
+            vectorized=self.vectorized,
         )
         profile = getattr(job_vertex, "rate_profile", None)
         if profile is not None:

@@ -23,17 +23,23 @@ reports read-write task latencies per consumed item.
 from __future__ import annotations
 
 import random
-from collections import OrderedDict, deque
-from typing import Callable, Deque, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from collections import deque
+from heapq import heappush
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
-from repro.engine.batching import AdaptiveDeadlineBatching, BatchingStrategy
+from repro.engine.batching import (
+    AdaptiveDeadlineBatching,
+    BatchingStrategy,
+    FixedSizeBatching,
+    InstantFlush,
+)
 from repro.engine.channel import NetworkModel, RuntimeChannel
 from repro.engine.items import DataItem
 from repro.engine.queues import BoundedQueue
 from repro.engine.udf import Emit, SourceUDF, UDF, WindowedAggregateUDF
 from repro.graphs.partitioning import Partitioner, make_partitioner
 from repro.simulation.events import Event
-from repro.simulation.kernel import PeriodicProcess, Simulator
+from repro.simulation.kernel import PeriodicProcess, SimulationError, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.qos.reporter import TaskReporter
@@ -59,6 +65,18 @@ class OutputGate:
     real batches when per-channel rates are low (paper Sec. III).
     """
 
+    __slots__ = (
+        "sim", "producer", "edge_name", "pattern", "key_fn", "strategy",
+        "_mode", "_should_flush_on_emit", "_flush_deadline", "network",
+        "channels", "partitioner", "_start", "_buffer", "_buffered_bytes",
+        "_flush_timer", "_timer_generation", "flushes",
+    )
+
+    #: emit() dispatch modes resolved from the strategy type once at
+    #: construction (the strategy object is fixed for the gate's lifetime;
+    #: set_deadline mutates it in place)
+    _GENERIC, _INSTANT, _ADAPTIVE, _FIXED = 0, 1, 2, 3
+
     def __init__(
         self,
         sim: Simulator,
@@ -76,6 +94,17 @@ class OutputGate:
         self.pattern = pattern
         self.key_fn = key_fn
         self.strategy = strategy
+        strategy_cls = type(strategy)
+        if strategy_cls is InstantFlush:
+            self._mode = self._INSTANT
+        elif strategy_cls is AdaptiveDeadlineBatching:
+            self._mode = self._ADAPTIVE
+        elif strategy_cls is FixedSizeBatching:
+            self._mode = self._FIXED
+        else:
+            self._mode = self._GENERIC
+        self._should_flush_on_emit = strategy.should_flush_on_emit
+        self._flush_deadline = strategy.flush_deadline
         self.network = network
         self.channels: List[RuntimeChannel] = []
         self.partitioner: Partitioner = make_partitioner(pattern, 1, key_fn, start)
@@ -83,6 +112,7 @@ class OutputGate:
         self._buffer: List[Tuple[RuntimeChannel, DataItem]] = []
         self._buffered_bytes = 0
         self._flush_timer: Optional[Event] = None
+        self._timer_generation = 0
         #: lifetime flush count (tests / recorders)
         self.flushes = 0
 
@@ -109,7 +139,14 @@ class OutputGate:
 
     def emit(self, channel: RuntimeChannel, item: DataItem) -> bool:
         """Buffer ``item`` for ``channel``; ``False`` when out of credits."""
-        if not channel.accept(item):
+        # channel.accept(), inlined for the per-item fast path.
+        if channel.closed:
+            pass  # closed channels accept (and later drop) everything
+        elif channel._outstanding < channel.capacity:
+            item.emitted_at = self.sim.now
+            channel._outstanding += 1
+            channel.items_emitted += 1
+        else:
             # Write stall: ship what is buffered (credits may be held by
             # our own buffered items), then retry once. Without this,
             # size-only batching can deadlock against the credit limit.
@@ -119,14 +156,46 @@ class OutputGate:
                     return False
             else:
                 return False
-        self._buffer.append((channel, item))
-        self._buffered_bytes += item.size
-        if self.strategy.should_flush_on_emit(len(self._buffer), self._buffered_bytes):
+        mode = self._mode
+        if mode == 2:  # AdaptiveDeadlineBatching (inlined)
+            strategy = self.strategy
+            deadline = strategy._deadline
+            buffer = self._buffer
+            buffer.append((channel, item))
+            buffered_bytes = self._buffered_bytes + item.size
+            self._buffered_bytes = buffered_bytes
+            if deadline <= 0.0 or buffered_bytes >= strategy.buffer_bytes:
+                self._flush()
+            elif self._flush_timer is None:
+                sim = self.sim
+                timer = sim._schedule_pooled_at(sim.now + deadline, self._on_flush_timer)
+                self._flush_timer = timer
+                self._timer_generation = timer.generation
+            return True
+        if mode == 1:  # InstantFlush: ship without touching the buffer
+            if self._buffer:
+                self._flush()  # teardown edge: buffered items ship first
+            self.flushes += 1
+            self.producer.add_overhead(self.network.shipping_overhead(1))
+            channel.ship((item,), item.size)
+            return True
+        buffer = self._buffer
+        buffer.append((channel, item))
+        buffered_bytes = self._buffered_bytes + item.size
+        self._buffered_bytes = buffered_bytes
+        if mode == 3:  # FixedSizeBatching: size cap only, never a timer
+            if buffered_bytes >= self.strategy.buffer_bytes:
+                self._flush()
+            return True
+        if self._should_flush_on_emit(len(buffer), buffered_bytes):
             self._flush()
         elif self._flush_timer is None:
-            deadline = self.strategy.flush_deadline()
+            deadline = self._flush_deadline()
             if deadline is not None:
-                self._flush_timer = self.sim.schedule(deadline, self._on_flush_timer)
+                sim = self.sim
+                timer = sim._schedule_pooled_at(sim.now + deadline, self._on_flush_timer)
+                self._flush_timer = timer
+                self._timer_generation = timer.generation
         return True
 
     def set_deadline(self, deadline: float) -> None:
@@ -141,8 +210,13 @@ class OutputGate:
 
     def discard(self) -> None:
         """Drop the buffered items without shipping (task crash)."""
-        if self._flush_timer is not None:
-            self._flush_timer.cancel()
+        timer = self._flush_timer
+        if timer is not None:
+            # Pooled-event owner contract: only cancel while our handle's
+            # generation is current (the kernel recycles fired/cancelled
+            # pooled events under a bumped generation).
+            if timer.generation == self._timer_generation:
+                timer.cancel()
             self._flush_timer = None
         self._buffer = []
         self._buffered_bytes = 0
@@ -153,15 +227,24 @@ class OutputGate:
             self._flush()
 
     def _flush(self) -> None:
-        if self._flush_timer is not None:
-            self._flush_timer.cancel()
+        timer = self._flush_timer
+        if timer is not None:
+            if timer.generation == self._timer_generation:
+                timer.cancel()
             self._flush_timer = None
         buffer = self._buffer
         self._buffer = []
         self._buffered_bytes = 0
         self.flushes += 1
         self.producer.add_overhead(self.network.shipping_overhead(len(buffer)))
-        groups: "OrderedDict[int, Tuple[RuntimeChannel, List[DataItem]]]" = OrderedDict()
+        if len(buffer) == 1:
+            # Dominant case under deadline batching at low per-gate rates:
+            # skip the grouping pass entirely.
+            channel, item = buffer[0]
+            channel.ship((item,), item.size)
+            return
+        # dicts preserve insertion order, so grouping keeps ship order.
+        groups: Dict[int, Tuple[RuntimeChannel, List[DataItem]]] = {}
         for channel, item in buffer:
             entry = groups.get(channel.channel_id)
             if entry is None:
@@ -175,6 +258,19 @@ class OutputGate:
 class RuntimeTask:
     """One parallel task instance of a job vertex."""
 
+    __slots__ = (
+        "uid", "sim", "vertex_name", "subtask_index", "task_id", "udf", "rng",
+        "item_size", "vectorized", "_service_fn", "_generate",
+        "_is_windowed", "_rr_mode",
+        "input_queue", "in_channels", "out_gates", "reporter", "state",
+        "start_time", "stop_time", "on_stopped", "failed", "speed_factor",
+        "service_multiplier", "_busy", "_paused_until", "_pop_time",
+        "_backlog", "_blocked_on", "_overhead_debt", "_last_enqueue",
+        "_window_process", "_window_created", "_drain_probe", "rate_profile",
+        "_tick_owed", "process_probe", "service_histogram",
+        "items_processed", "items_emitted", "busy_time",
+    )
+
     _ids = 0
 
     def __init__(
@@ -186,6 +282,7 @@ class RuntimeTask:
         rng: random.Random,
         queue_capacity: int = 256,
         item_size: int = 256,
+        vectorized: bool = True,
     ) -> None:
         RuntimeTask._ids += 1
         self.uid = RuntimeTask._ids
@@ -196,6 +293,13 @@ class RuntimeTask:
         self.udf = udf
         self.rng = rng
         self.item_size = item_size
+        #: block pre-draw of service times (bit-identical to scalar draws;
+        #: engine-wide toggle via EngineConfig.vectorized_sampling)
+        self.vectorized = vectorized
+        self._service_fn: Optional[Callable[[object], float]] = None
+        self._generate: Optional[Callable] = None  # bound SourceUDF.generate
+        self._is_windowed = False
+        self._rr_mode = True
         self.input_queue = BoundedQueue(queue_capacity)
         self.in_channels: List[RuntimeChannel] = []
         self.out_gates: List[OutputGate] = []
@@ -260,7 +364,15 @@ class RuntimeTask:
         self.state = RUNNING
         self.start_time = self.sim.now
         self.udf.open(self)
-        if isinstance(self.udf, WindowedAggregateUDF):
+        self._is_windowed = isinstance(self.udf, WindowedAggregateUDF)
+        self._rr_mode = self.udf.latency_mode == "RR"
+        if self.is_source:
+            self._generate = self.udf.generate
+        elif self.vectorized:
+            # Sources never draw service times, and their stream interleaves
+            # interval and payload draws — never pre-draw on it.
+            self._service_fn = self.udf.make_service_sampler(self.rng)
+        if self._is_windowed:
             self._window_process = self.sim.every(self.udf.window, self._flush_window)
         if self.is_source:
             if self.rate_profile is None:
@@ -359,11 +471,13 @@ class RuntimeTask:
     def on_item_enqueued(self, channel: RuntimeChannel) -> None:
         """Called by an inbound channel after it enqueued one item."""
         now = self.sim.now
-        if self.reporter is not None:
-            if self._last_enqueue is not None:
-                self.reporter.record_interarrival(now - self._last_enqueue)
+        reporter = self.reporter
+        if reporter is not None:
+            last = self._last_enqueue
+            if last is not None:
+                reporter.record_interarrival(now - last)
             self._last_enqueue = now
-        if self.state in (RUNNING, DRAINING) and not self._busy and self._blocked_on is None:
+        if not self._busy and self._blocked_on is None and self.state in (RUNNING, DRAINING):
             self._start_next()
 
     def pause(self, duration: float) -> None:
@@ -395,60 +509,99 @@ class RuntimeTask:
             self._start_next()
 
     def _start_next(self) -> None:
-        if self.sim.now < self._paused_until:
+        sim = self.sim
+        now = sim.now
+        if now < self._paused_until:
             return  # paused (state snapshot/migration); resume kick pending
-        if len(self.input_queue) == 0:
+        queue = self.input_queue
+        entries = queue._items
+        if not entries:
             if self.state == DRAINING:
                 self._check_drained()
             return
-        # Guard before get(): popping frees queue space, which can deliver a
-        # parked batch and re-enter on_item_enqueued synchronously.
+        # Guard before popping: freeing queue space can deliver a parked
+        # batch and re-enter on_item_enqueued synchronously.
         self._busy = True
-        item, channel = self.input_queue.get()
-        now = self.sim.now
-        if isinstance(channel, RuntimeChannel) and channel.reporter is not None:
-            if item.sampled and item.emitted_at is not None:
-                channel.reporter.record_channel_latency(now - item.emitted_at)
+        item, channel = entries.popleft()
+        if queue._space_listeners:
+            queue._notify_space()
+        reporter = getattr(channel, "reporter", None)
+        if reporter is not None and item.sampled and item.emitted_at is not None:
+            reporter.record_channel_latency(now - item.emitted_at)
         self._pop_time = now
-        udf_service = (
-            self.udf.service_time(item.payload, self.rng)
-            * self.service_multiplier
-            / self.speed_factor
-        )
+        service_fn = self._service_fn
+        if service_fn is not None:
+            udf_service = service_fn(item.payload) * self.service_multiplier / self.speed_factor
+        else:
+            udf_service = (
+                self.udf.service_time(item.payload, self.rng)
+                * self.service_multiplier
+                / self.speed_factor
+            )
         # Overhead debt was already counted into busy_time by add_overhead;
         # here it only delays the completion.
         service = udf_service + self._overhead_debt
         self._overhead_debt = 0.0
         self.busy_time += udf_service
-        # Fire-and-forget: never cancelled (the callback guards on state).
-        self.sim.schedule_fire(service, self._complete_service, item)
+        # sim.schedule_fire(service, self._complete_service, item), inlined:
+        # fire-and-forget (never cancelled; the callback guards on state).
+        if service < 0:
+            raise SimulationError(f"negative service time ({service})")
+        seq = sim._seq
+        sim._seq = seq + 1
+        heap = sim._heap
+        heappush(heap, (now + service, seq, self._complete_service, (item,)))
+        if len(heap) > sim._max_heap:
+            sim._max_heap = len(heap)
 
     def _complete_service(self, item: DataItem) -> None:
         if self.state == STOPPED:
             return  # crashed mid-service; the item is lost
         self.items_processed += 1
         udf = self.udf
+        now = self.sim.now
         outputs = udf.process(item.payload)
-        if isinstance(udf, WindowedAggregateUDF):
-            udf.record_consume(self.sim.now)
+        if self._is_windowed:
+            udf.record_consume(now)
             self._window_created.append(item.created_at)
         if self.process_probe is not None:
-            self.process_probe(self.sim.now - item.created_at, item.payload)
-        self._route_outputs(outputs, item.created_at)
-        self._finish_or_block()
-
-    def _finish_or_block(self) -> None:
-        """Drain the emission backlog; finish the current item if possible."""
-        if not self._drain_backlog():
-            return  # blocked; resumed by _on_unblocked
-        now = self.sim.now
+            self.process_probe(now - item.created_at, item.payload)
+        if outputs:
+            self._route_outputs(outputs, item.created_at, direct=True)
+        # _finish_or_block, inlined: this is one frame per processed item.
+        if self._backlog:
+            if not self._drain_backlog():
+                return  # blocked; resumed by _on_unblocked
+        else:
+            self._blocked_on = None
         if self._busy:
             self._busy = False
             elapsed = now - self._pop_time
-            if self.reporter is not None:
-                self.reporter.record_service_time(elapsed)
-                if self.udf.latency_mode == "RR":
-                    self.reporter.record_task_latency(elapsed)
+            reporter = self.reporter
+            if reporter is not None:
+                reporter.record_service_time(elapsed)
+                if self._rr_mode:
+                    reporter.record_task_latency(elapsed)
+            if self.service_histogram is not None:
+                self.service_histogram.observe(elapsed)
+        if self.state in (RUNNING, DRAINING):
+            self._start_next()
+
+    def _finish_or_block(self) -> None:
+        """Drain the emission backlog; finish the current item if possible."""
+        if self._backlog:
+            if not self._drain_backlog():
+                return  # blocked; resumed by _on_unblocked
+        else:
+            self._blocked_on = None
+        if self._busy:
+            self._busy = False
+            elapsed = self.sim.now - self._pop_time
+            reporter = self.reporter
+            if reporter is not None:
+                reporter.record_service_time(elapsed)
+                if self._rr_mode:
+                    reporter.record_task_latency(elapsed)
             if self.service_histogram is not None:
                 self.service_histogram.observe(elapsed)
         if self.state in (RUNNING, DRAINING):
@@ -458,18 +611,46 @@ class RuntimeTask:
     # emission
     # ------------------------------------------------------------------
 
-    def _route_outputs(self, outputs: Iterable[object], created_at: float) -> None:
+    def _route_outputs(
+        self, outputs: Iterable[object], created_at: float, direct: bool = False
+    ) -> None:
+        # ``direct=True`` (service completions, source emits) skips the
+        # backlog round-trip when nothing is queued ahead of us and the
+        # task is not blocked: identical items in identical order at the
+        # same sim time, minus two deque ops per item. Window flushes must
+        # NOT use it — their outputs wait in the backlog while a service
+        # is in flight (drained by the completion), so emitting them
+        # immediately would reorder emissions.
+        backlog = self._backlog
+        out_gates = self.out_gates
+        size = self.item_size
+        direct = direct and not backlog and self._blocked_on is None
         for output in outputs:
-            if isinstance(output, Emit):
-                gates = (self.out_gates[output.gate],)
+            if output.__class__ is Emit:
+                gates = (out_gates[output.gate],)
                 payload = output.payload
             else:
-                gates = tuple(self.out_gates)
+                gates = out_gates
                 payload = output
             for gate in gates:
-                for channel in gate.select_channels(payload):
-                    item = DataItem(payload, created_at, self.item_size)
-                    self._backlog.append((gate, channel, item))
+                channels = gate.channels
+                if not channels:
+                    continue
+                for i in gate.partitioner.select(payload):
+                    channel = channels[i]
+                    item = DataItem(payload, created_at, size)
+                    if direct:
+                        if channel.closed:
+                            continue
+                        if gate.emit(channel, item):
+                            self.items_emitted += 1
+                            continue
+                        # Out of credits: queue this item and everything
+                        # after it, exactly like _drain_backlog would.
+                        direct = False
+                        self._blocked_on = channel
+                        channel.add_unblock_waiter(self._on_unblocked)
+                    backlog.append((gate, channel, item))
 
     def _drain_backlog(self) -> bool:
         """Emit backlog items in order; returns False if blocked."""
@@ -569,12 +750,10 @@ class RuntimeTask:
         # else: resumed from _on_unblocked
 
     def _source_emit(self) -> None:
-        udf = self.udf
-        assert isinstance(udf, SourceUDF)
         now = self.sim.now
-        payload = udf.generate(now, self.rng)
+        payload = self._generate(now, self.rng)
         self.items_processed += 1
-        self._route_outputs((payload,), created_at=now)
+        self._route_outputs((payload,), created_at=now, direct=True)
 
     # ------------------------------------------------------------------
 

@@ -19,7 +19,12 @@ from __future__ import annotations
 import random
 from typing import Callable, Iterable, List, Optional, Tuple
 
-from repro.simulation.randomness import Deterministic, Distribution
+from repro.simulation.randomness import (
+    DEFAULT_BLOCK_SIZE,
+    BlockSampler,
+    Deterministic,
+    Distribution,
+)
 
 #: latency measurement modes (paper Sec. II-A3)
 READ_READY = "RR"
@@ -66,6 +71,28 @@ class UDF:
     def service_time(self, payload: object, rng: random.Random) -> float:
         """Simulated compute time for one item (may depend on the payload)."""
         return self.service_dist.sample(rng)
+
+    def make_service_sampler(
+        self, rng: random.Random, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> Optional[Callable[[object], float]]:
+        """Return a ``payload -> seconds`` fast path for :meth:`service_time`.
+
+        The returned callable must consume ``rng`` exactly as per-item
+        :meth:`service_time` calls would (block pre-draws are fine: the
+        task is the stream's only consumer, so order is preserved).
+        Returning ``None`` disables the fast path — the default for
+        subclasses that override :meth:`service_time`, since the engine
+        cannot know what their draws depend on.
+        """
+        if type(self).service_time is not UDF.service_time:
+            return None
+        dist = self.service_dist
+        if isinstance(dist, Deterministic):
+            value = dist.value
+            return lambda payload: value
+        sampler = BlockSampler(dist, rng, block_size)
+        next_sample = sampler.next
+        return lambda payload: next_sample()
 
     def process(self, payload: object) -> Iterable[object]:
         """Consume one payload and return output payloads (or :class:`Emit`)."""

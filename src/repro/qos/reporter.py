@@ -6,14 +6,30 @@ hosting component feeds raw samples (the engine calls ``record_*`` from
 the hot path); once per measurement interval the QoS manager drains the
 accumulators into :mod:`~repro.qos.measurements` records (paper: reporters
 "report to QoS managers once per measurement interval").
+
+Hot-path layout: ``record_*`` is bound to a plain ``list.append`` so the
+per-sample cost is one C call with no Python frame. The Welford
+accumulation runs once per interval in :meth:`flush`, walking the buffered
+samples in arrival order with the same :class:`OnlineStats` arithmetic the
+reporters used to apply per sample — snapshots are bit-identical to the
+former incremental scheme.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List
 
 from repro.qos.measurements import ChannelMeasurement, TaskMeasurement
-from repro.qos.stats import OnlineStats
+from repro.qos.stats import OnlineStats, StatsSnapshot
+
+
+def _snapshot(samples: List[float]) -> StatsSnapshot:
+    """Sequential-Welford snapshot of one interval's buffered samples."""
+    stats = OnlineStats()
+    add = stats.add
+    for value in samples:
+        add(value)
+    return stats.snapshot_and_reset()
 
 
 class TaskReporter:
@@ -22,32 +38,29 @@ class TaskReporter:
     def __init__(self, vertex_name: str, task_id: str) -> None:
         self.vertex_name = vertex_name
         self.task_id = task_id
-        self._task_latency = OnlineStats()
-        self._service = OnlineStats()
-        self._interarrival = OnlineStats()
-
-    def record_task_latency(self, value: float) -> None:
-        """One task-latency sample (RR or RW per the UDF's mode)."""
-        self._task_latency.add(value)
-
-    def record_service_time(self, value: float) -> None:
-        """One service-time sample (read-ready span, includes blocking)."""
-        self._service.add(value)
-
-    def record_interarrival(self, value: float) -> None:
-        """One interarrival-time sample (measured at queue ingress)."""
-        self._interarrival.add(value)
+        self._task_latency: List[float] = []
+        self._service: List[float] = []
+        self._interarrival: List[float] = []
+        # Hot-path aliases: one sample = one list.append, no Python frame.
+        self.record_task_latency = self._task_latency.append
+        self.record_service_time = self._service.append
+        self.record_interarrival = self._interarrival.append
 
     def flush(self, now: float) -> TaskMeasurement:
         """Freeze and reset the interval accumulators."""
-        return TaskMeasurement(
+        measurement = TaskMeasurement(
             self.vertex_name,
             self.task_id,
             now,
-            self._task_latency.snapshot_and_reset(),
-            self._service.snapshot_and_reset(),
-            self._interarrival.snapshot_and_reset(),
+            _snapshot(self._task_latency),
+            _snapshot(self._service),
+            _snapshot(self._interarrival),
         )
+        # Clear in place: record_* stays bound to the same list objects.
+        del self._task_latency[:]
+        del self._service[:]
+        del self._interarrival[:]
+        return measurement
 
 
 class ChannelReporter:
@@ -56,23 +69,21 @@ class ChannelReporter:
     def __init__(self, edge_name: str, channel_id: int) -> None:
         self.edge_name = edge_name
         self.channel_id = channel_id
-        self._latency = OnlineStats()
-        self._obl = OnlineStats()
-
-    def record_channel_latency(self, value: float) -> None:
-        """One channel-latency sample (emit → consume)."""
-        self._latency.add(value)
-
-    def record_output_batch_latency(self, value: float) -> None:
-        """One output-batch-latency sample (emit → ship)."""
-        self._obl.add(value)
+        self._latency: List[float] = []
+        self._obl: List[float] = []
+        # Hot-path aliases (see TaskReporter.__init__).
+        self.record_channel_latency = self._latency.append
+        self.record_output_batch_latency = self._obl.append
 
     def flush(self, now: float) -> ChannelMeasurement:
         """Freeze and reset the interval accumulators."""
-        return ChannelMeasurement(
+        measurement = ChannelMeasurement(
             self.edge_name,
             self.channel_id,
             now,
-            self._latency.snapshot_and_reset(),
-            self._obl.snapshot_and_reset(),
+            _snapshot(self._latency),
+            _snapshot(self._obl),
         )
+        del self._latency[:]
+        del self._obl[:]
+        return measurement

@@ -70,16 +70,13 @@ class Simulator:
         #       or (time, seq, Event)          cancellable
         self._heap: List[tuple] = []
         self._seq = 0
-        self._now = 0.0
+        #: current virtual time in seconds — a plain attribute (read from
+        #: every hot callback) rather than a property; treat as read-only
+        self.now = 0.0
         self._running = False
         self._fired_events = 0
         self._max_heap = 0
         self._pool: List[Event] = []
-
-    @property
-    def now(self) -> float:
-        """Current virtual time in seconds."""
-        return self._now
 
     @property
     def pending_events(self) -> int:
@@ -113,13 +110,13 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        return self.schedule_at(self.now + delay, callback, *args)
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to fire at absolute virtual ``time``."""
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule into the past (time={time}, now={self._now})"
+                f"cannot schedule into the past (time={time}, now={self.now})"
             )
         seq = self._seq
         self._seq = seq + 1
@@ -141,7 +138,7 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        time = self._now + delay
+        time = self.now + delay
         seq = self._seq
         self._seq = seq + 1
         heap = self._heap
@@ -151,9 +148,9 @@ class Simulator:
 
     def schedule_fire_at(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
         """Absolute-time variant of :meth:`schedule_fire`."""
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule into the past (time={time}, now={self._now})"
+                f"cannot schedule into the past (time={time}, now={self.now})"
             )
         seq = self._seq
         self._seq = seq + 1
@@ -169,9 +166,9 @@ class Simulator:
         must drop (or generation-check) its handle — the kernel reuses
         the object for later schedulings.
         """
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule into the past (time={time}, now={self._now})"
+                f"cannot schedule into the past (time={time}, now={self.now})"
             )
         seq = self._seq
         self._seq = seq + 1
@@ -214,6 +211,8 @@ class Simulator:
         try:
             if until is None and max_events is None:
                 self._run_unbounded()
+            elif max_events is None:
+                self._run_until(until)
             else:
                 self._run_bounded(until, max_events)
         finally:
@@ -228,7 +227,7 @@ class Simulator:
         while heap:
             entry = pop(heap)
             if len(entry) == 4:
-                self._now = entry[0]
+                self.now = entry[0]
                 self._fired_events += 1
                 entry[2](*entry[3])
                 continue
@@ -237,11 +236,45 @@ class Simulator:
                 if event.pooled:
                     self._recycle(pool, event)
                 continue
-            self._now = entry[0]
+            self.now = entry[0]
             self._fired_events += 1
             event.callback(*event.args)
             if event.pooled:
                 self._recycle(pool, event)
+
+    def _run_until(self, until: float) -> None:
+        # Specialization of _run_bounded for the dominant run(until=...)
+        # call: no max_events bookkeeping, no per-event None checks.
+        heap = self._heap
+        pop = heapq.heappop
+        pool = self._pool
+        while heap:
+            entry = heap[0]
+            time = entry[0]
+            if len(entry) == 4:
+                if time > until:
+                    break
+                pop(heap)
+                self.now = time
+                self._fired_events += 1
+                entry[2](*entry[3])
+            else:
+                event = entry[2]
+                if event.cancelled:
+                    pop(heap)
+                    if event.pooled:
+                        self._recycle(pool, event)
+                    continue
+                if time > until:
+                    break
+                pop(heap)
+                self.now = time
+                self._fired_events += 1
+                event.callback(*event.args)
+                if event.pooled:
+                    self._recycle(pool, event)
+        if self.now < until:
+            self.now = until
 
     def _run_bounded(self, until: Optional[float], max_events: Optional[int]) -> None:
         heap = self._heap
@@ -262,7 +295,7 @@ class Simulator:
             if until is not None and entry[0] > until:
                 break
             pop(heap)
-            self._now = entry[0]
+            self.now = entry[0]
             self._fired_events += 1
             fired += 1
             if event is None:
@@ -273,8 +306,8 @@ class Simulator:
                     self._recycle(pool, event)
             if max_events is not None and fired >= max_events:
                 break
-        if until is not None and self._now < until:
-            self._now = until
+        if until is not None and self.now < until:
+            self.now = until
 
     @staticmethod
     def _recycle(pool: List[Event], event: Event) -> None:
@@ -295,7 +328,7 @@ class Simulator:
         while heap:
             entry = heapq.heappop(heap)
             if len(entry) == 4:
-                self._now = entry[0]
+                self.now = entry[0]
                 self._fired_events += 1
                 entry[2](*entry[3])
                 return True
@@ -304,7 +337,7 @@ class Simulator:
                 if event.pooled:
                     self._recycle(pool, event)
                 continue
-            self._now = entry[0]
+            self.now = entry[0]
             self._fired_events += 1
             event.callback(*event.args)
             if event.pooled:

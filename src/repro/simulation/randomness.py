@@ -11,7 +11,45 @@ from __future__ import annotations
 import math
 import random
 import zlib
-from typing import Dict
+from typing import Dict, List
+
+try:  # numpy accelerates block draws; everything degrades gracefully
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is in the base image
+    _np = None
+
+#: below this block size the MT19937 state transplant costs more than it saves
+_NUMPY_MIN_BLOCK = 32
+
+#: default number of variates a :class:`BlockSampler` pre-draws per refill
+DEFAULT_BLOCK_SIZE = 256
+
+
+def block_uniforms(rng: random.Random, n: int) -> List[float]:
+    """Draw ``n`` uniforms bit-identical to ``n`` calls of ``rng.random()``.
+
+    For large blocks the Mersenne-Twister state is transplanted into a
+    ``numpy.random.RandomState`` (same MT19937 core, same two-word
+    ``genrand_res53`` double construction), the block is drawn vectorized,
+    and the advanced state is transplanted back — so interleaving block
+    and scalar draws on the same stream yields exactly the scalar-only
+    sequence, for any split of the stream into blocks.
+    """
+    if n <= 0:
+        return []
+    if _np is not None and n >= _NUMPY_MIN_BLOCK:
+        version, internal, gauss = rng.getstate()
+        # CPython's MT state is (624 key words, pos); anything else means a
+        # non-standard Random subclass — fall through to scalar draws.
+        if version == 3 and len(internal) == 625:
+            state = _np.random.RandomState()
+            state.set_state(("MT19937", _np.asarray(internal[:624], dtype=_np.uint32), internal[624]))
+            out = state.random_sample(n)
+            _, keys, pos, _, _ = state.get_state()
+            rng.setstate((version, tuple(keys.tolist()) + (pos,), gauss))
+            return out.tolist()
+    rand = rng.random
+    return [rand() for _ in range(n)]
 
 
 class RandomStreams:
@@ -63,6 +101,16 @@ class Distribution:
         """Draw one variate using the supplied RNG."""
         raise NotImplementedError
 
+    def sample_block(self, rng: random.Random, n: int) -> List[float]:
+        """Draw ``n`` variates, bit-identical to ``n`` :meth:`sample` calls.
+
+        Subclasses whose transform is a pure function of one uniform
+        override this with a vectorized path over :func:`block_uniforms`;
+        the default falls back to ``n`` scalar draws (trivially identical).
+        """
+        sample = self.sample
+        return [sample(rng) for _ in range(n)]
+
     def scaled(self, factor: float) -> "Distribution":
         """Return a copy of this distribution with the mean scaled."""
         raise NotImplementedError
@@ -80,6 +128,9 @@ class Deterministic(Distribution):
 
     def sample(self, rng: random.Random) -> float:
         return self.value
+
+    def sample_block(self, rng: random.Random, n: int) -> List[float]:
+        return [self.value] * n
 
     def scaled(self, factor: float) -> "Deterministic":
         return Deterministic(self.value * factor)
@@ -99,6 +150,14 @@ class Exponential(Distribution):
 
     def sample(self, rng: random.Random) -> float:
         return rng.expovariate(1.0 / self.mean)
+
+    def sample_block(self, rng: random.Random, n: int) -> List[float]:
+        # Same transform CPython's expovariate applies to each uniform:
+        # -log(1 - u) / lambd. math.log is kept (numpy's log is not
+        # bit-identical to libm's on all platforms).
+        lambd = 1.0 / self.mean
+        log = math.log
+        return [-log(1.0 - u) / lambd for u in block_uniforms(rng, n)]
 
     def scaled(self, factor: float) -> "Exponential":
         return Exponential(self.mean * factor)
@@ -175,8 +234,58 @@ class Uniform(Distribution):
     def sample(self, rng: random.Random) -> float:
         return rng.uniform(self.low, self.high)
 
+    def sample_block(self, rng: random.Random, n: int) -> List[float]:
+        # random.uniform(a, b) is a + (b - a) * random(); +, -, * are
+        # IEEE-exact, so the comprehension reproduces it bit-for-bit.
+        low = self.low
+        span = self.high - low
+        return [low + span * u for u in block_uniforms(rng, n)]
+
     def scaled(self, factor: float) -> "Uniform":
         return Uniform(self.low * factor, self.high * factor)
 
     def __repr__(self) -> str:
         return f"Uniform({self.low!r}, {self.high!r})"
+
+
+class BlockSampler:
+    """Pre-draws variates from a distribution in blocks.
+
+    For a stream with a *single consumer*, popping variates from a
+    BlockSampler yields exactly the sequence that scalar
+    :meth:`Distribution.sample` calls would — for any block size — because
+    :meth:`Distribution.sample_block` is bit-identical by construction and
+    blocks only reorder *when* draws happen, never their order. The engine
+    uses one per task to collapse the per-item service-time call chain
+    into a buffer pop.
+    """
+
+    __slots__ = ("dist", "rng", "block_size", "_buf", "_pos")
+
+    def __init__(
+        self,
+        dist: Distribution,
+        rng: random.Random,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1 (got {block_size})")
+        self.dist = dist
+        self.rng = rng
+        self.block_size = block_size
+        self._buf: List[float] = []
+        self._pos = 0
+
+    def next(self) -> float:
+        """Pop the next variate, refilling the block buffer when empty."""
+        pos = self._pos
+        buf = self._buf
+        if pos >= len(buf):
+            buf = self._buf = self.dist.sample_block(self.rng, self.block_size)
+            pos = 0
+        self._pos = pos + 1
+        return buf[pos]
+
+    def pending(self) -> int:
+        """Variates already drawn from the RNG but not yet consumed."""
+        return len(self._buf) - self._pos

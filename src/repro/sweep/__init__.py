@@ -21,12 +21,20 @@ one orchestrated *sweep*:
   worker count, interruption or resume, and renders through
   :class:`repro.experiments.dashboard.SweepDashboard`.
 
+The same crash-isolated worker pool (:mod:`repro.sweep.pool`) also
+powers *partitioned single-scenario* runs: :mod:`repro.sweep.partition`
+splits one scenario into a fixed set of independent slices, runs them
+across workers and merges the artifacts byte-identically for any worker
+count.
+
 CLI: ``python -m repro sweep [--grid FILE | flags] --workers N
-[--resume] --out DIR``.
+[--resume] --out DIR`` and ``python -m repro run --partitions N``.
 """
 
 from repro.sweep.grid import SweepGrid, WORKLOADS
 from repro.sweep.orchestrator import SweepError, SweepStats, run_sweep
+from repro.sweep.partition import PartitionError, PartitionPlan, run_partitioned
+from repro.sweep.pool import PoolError, PoolJob, PoolStats, run_pool
 from repro.sweep.report import merge_shard_results, read_aggregate
 from repro.sweep.shard import ShardSpec, run_shard
 
@@ -40,4 +48,11 @@ __all__ = [
     "run_shard",
     "merge_shard_results",
     "read_aggregate",
+    "PartitionError",
+    "PartitionPlan",
+    "run_partitioned",
+    "PoolError",
+    "PoolJob",
+    "PoolStats",
+    "run_pool",
 ]

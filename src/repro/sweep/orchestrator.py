@@ -1,24 +1,22 @@
 """The sweep orchestrator: crash-isolated shard execution with resume.
 
-Every shard runs in its *own* worker process, so a crashed or killed
-worker (non-zero exit, signal, ``os._exit``) fails only that shard; the
-orchestrator retries it up to ``max_retries`` times and carries on. The
-filesystem is the only communication channel — a shard is complete iff
-its atomically written ``result.json`` checkpoint exists — which is what
-makes ``resume=True`` trivially correct: finished shards are skipped,
-everything else re-runs, and the merged aggregate comes out
-byte-identical either way.
+Every shard runs in its *own* worker process (via
+:mod:`repro.sweep.pool`), so a crashed or killed worker (non-zero exit,
+signal, ``os._exit``) fails only that shard; the orchestrator retries it
+up to ``max_retries`` times and carries on. The filesystem is the only
+communication channel — a shard is complete iff its atomically written
+``result.json`` checkpoint exists — which is what makes ``resume=True``
+trivially correct: finished shards are skipped, everything else re-runs,
+and the merged aggregate comes out byte-identical either way.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-import time
-from collections import deque
 from typing import Callable, Dict, List, Optional
 
 from repro.sweep.grid import SweepGrid
+from repro.sweep.pool import PoolError, PoolJob, run_pool
 from repro.sweep.report import (
     AGGREGATE_FILE,
     GRID_FILE,
@@ -27,9 +25,6 @@ from repro.sweep.report import (
     write_aggregate,
 )
 from repro.sweep.shard import ShardSpec, load_shard_result, shard_process_entry
-
-#: poll interval while waiting for worker processes (seconds)
-POLL_INTERVAL = 0.02
 
 #: subdirectory of the sweep output dir holding per-shard checkpoints
 SHARDS_DIR = "shards"
@@ -115,32 +110,6 @@ class SweepResult:
         self.outcomes = outcomes
 
 
-def _mp_context():
-    # fork (where available) inherits sys.path and is fast; spawn is the
-    # portable fallback — shard entry/specs are picklable either way.
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-
-
-def _ensure_importable_env() -> Optional[str]:
-    """Make spawned children able to ``import repro``; returns old PYTHONPATH."""
-    import repro
-
-    root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
-    old = os.environ.get("PYTHONPATH")
-    parts = old.split(os.pathsep) if old else []
-    if root not in parts:
-        os.environ["PYTHONPATH"] = os.pathsep.join([root] + parts)
-    return old
-
-
-def _restore_env(old: Optional[str]) -> None:
-    if old is None:
-        os.environ.pop("PYTHONPATH", None)
-    else:
-        os.environ["PYTHONPATH"] = old
-
-
 def run_sweep(
     grid: SweepGrid,
     out: str,
@@ -196,7 +165,8 @@ def run_sweep(
     results: List[Dict[str, object]] = []
 
     # resume: collect finished shards, queue the rest in key order
-    pending: deque = deque()
+    spec_by_key: Dict[str, ShardSpec] = {}
+    jobs: List[PoolJob] = []
     for spec in specs:
         shard_dir = os.path.join(shards_root, spec.key)
         checkpoint = load_shard_result(shard_dir, spec) if resume else None
@@ -207,61 +177,39 @@ def run_sweep(
             outcomes.append(ShardOutcome(spec.key, "skipped", 0, 0.0))
             say(f"skip {spec.key} (checkpoint)")
         else:
-            pending.append(spec)
+            spec_by_key[spec.key] = spec
+            jobs.append(PoolJob(spec.key, shard_process_entry, (spec.to_dict(), shard_dir)))
 
-    ctx = _mp_context()
-    attempts: Dict[str, int] = {}
-    active: Dict[str, tuple] = {}
-    started = time.monotonic()
-    old_pythonpath = _ensure_importable_env()
+    def _verify(job: PoolJob) -> bool:
+        spec = spec_by_key[job.key]
+        shard_dir = os.path.join(shards_root, spec.key)
+        return load_shard_result(shard_dir, spec) is not None
+
     try:
-        while pending or active:
-            while pending and len(active) < workers:
-                spec = pending.popleft()
-                attempts[spec.key] = attempts.get(spec.key, 0) + 1
-                shard_dir = os.path.join(shards_root, spec.key)
-                process = ctx.Process(
-                    target=shard_process_entry,
-                    args=(spec.to_dict(), shard_dir),
-                    name=f"sweep-{spec.key}",
-                )
-                process.start()
-                active[spec.key] = (process, spec, time.monotonic())
-                say(f"run  {spec.key} (attempt {attempts[spec.key]})")
-            time.sleep(POLL_INTERVAL)
-            for key in list(active):
-                process, spec, shard_started = active[key]
-                if process.is_alive():
-                    continue
-                process.join()
-                elapsed = time.monotonic() - shard_started
-                del active[key]
-                stats.serial_estimate_s += elapsed
-                shard_dir = os.path.join(shards_root, key)
-                checkpoint = load_shard_result(shard_dir, spec)
-                if process.exitcode == 0 and checkpoint is not None:
-                    stats.done += 1
-                    results.append(checkpoint)
-                    outcomes.append(
-                        ShardOutcome(key, "done", attempts[key], elapsed)
-                    )
-                    say(f"done {key} ({elapsed:.1f}s)")
-                elif attempts[key] <= max_retries:
-                    stats.retried += 1
-                    pending.append(spec)
-                    say(f"retry {key} (worker exit {process.exitcode})")
-                else:
-                    stats.failed += 1
-                    outcomes.append(
-                        ShardOutcome(key, "failed", attempts[key], elapsed)
-                    )
-                    say(f"FAIL {key} after {attempts[key]} attempts "
-                        f"(worker exit {process.exitcode})")
-    finally:
-        for process, _spec, _t0 in active.values():  # pragma: no cover
-            process.terminate()
-        _restore_env(old_pythonpath)
-    stats.wall_s = time.monotonic() - started
+        pool_stats, job_outcomes = run_pool(
+            jobs,
+            workers=workers,
+            max_retries=max_retries,
+            verify=_verify,
+            progress=say,
+            name_prefix="sweep",
+        )
+    except PoolError as exc:
+        raise SweepError(str(exc)) from exc
+    stats.done += pool_stats.done
+    stats.failed = pool_stats.failed
+    stats.retried = pool_stats.retried
+    stats.wall_s = pool_stats.wall_s
+    stats.serial_estimate_s = pool_stats.serial_estimate_s
+    for outcome in job_outcomes:
+        outcomes.append(
+            ShardOutcome(outcome.key, outcome.status, outcome.attempts, outcome.elapsed_s)
+        )
+        if outcome.status == "done":
+            spec = spec_by_key[outcome.key]
+            checkpoint = load_shard_result(os.path.join(shards_root, spec.key), spec)
+            if checkpoint is not None:
+                results.append(checkpoint)
 
     # deterministic merge (ordered by shard key, not completion time)
     aggregate = merge_shard_results(description, results)

@@ -301,6 +301,7 @@ def run_shard(spec: ShardSpec, export_dir: Optional[str] = None) -> Dict[str, ob
         "params": spec.params(),
         "graph_hash": graph_hash(job.job_graph),
         "virtual_time_s": engine.now,
+        "fired_events": engine.sim.fired_events,
         "final_parallelism": {
             name: rv.parallelism for name, rv in job.runtime.vertices.items()
         },

@@ -37,11 +37,16 @@ NEGATIVE = "negative"
 class SentimentAnalyzer:
     """Classifies text into positive / neutral / negative."""
 
+    #: classify() memo cap; templated tweet text repeats heavily, so the
+    #: cache converts the per-tweet regex scan into a dict hit
+    _CACHE_MAX = 65536
+
     def __init__(self, lexicon: Dict[str, int] = None, threshold: int = 1) -> None:
         if threshold < 1:
             raise ValueError(f"threshold must be >= 1 (got {threshold})")
         self.lexicon = lexicon if lexicon is not None else SENTIMENT_LEXICON
         self.threshold = threshold
+        self._classify_cache: Dict[str, str] = {}
 
     def score(self, text: str) -> int:
         """Summed lexicon score of the text, with one-token negation."""
@@ -60,13 +65,21 @@ class SentimentAnalyzer:
         return total
 
     def classify(self, text: str) -> str:
-        """Three-way classification by thresholded score."""
+        """Three-way classification by thresholded score (memoized)."""
+        cache = self._classify_cache
+        label = cache.get(text)
+        if label is not None:
+            return label
         value = self.score(text)
         if value >= self.threshold:
-            return POSITIVE
-        if value <= -self.threshold:
-            return NEGATIVE
-        return NEUTRAL
+            label = POSITIVE
+        elif value <= -self.threshold:
+            label = NEGATIVE
+        else:
+            label = NEUTRAL
+        if len(cache) < self._CACHE_MAX:
+            cache[text] = label
+        return label
 
     def classify_with_score(self, text: str) -> Tuple[str, int]:
         """``(label, score)`` in one pass-equivalent call."""

@@ -33,6 +33,7 @@ from repro.core.constraints import LatencyConstraint
 from repro.engine.udf import SinkUDF, SourceUDF, UDF, WindowedAggregateUDF
 from repro.graphs.job_graph import JobGraph
 from repro.graphs.sequences import JobSequence
+from repro.simulation.randomness import BlockSampler as _BlockSampler
 from repro.simulation.randomness import Deterministic, Distribution, Gamma
 from repro.workloads.rates import DiurnalRate
 from repro.workloads.sentiment import SentimentAnalyzer
@@ -124,6 +125,22 @@ class TopicFilterUDF(UDF):
         if isinstance(payload, MergedTopics):
             return self.list_service.sample(rng)
         return self.service_dist.sample(rng)
+
+    def make_service_sampler(self, rng, block_size=256):
+        # Block pre-draw is safe despite the payload dispatch: tweets draw
+        # from service_dist in arrival order (single consumer) while the
+        # deterministic MergedTopics cost consumes no randomness at all,
+        # so the draw sequence is exactly the scalar one.
+        if not isinstance(self.list_service, Deterministic):
+            return None
+        list_value = self.list_service.value
+        sampler = _BlockSampler(self.service_dist, rng, block_size)
+        next_sample = sampler.next
+        def service(payload, _merged=MergedTopics):
+            if payload.__class__ is _merged:
+                return list_value
+            return next_sample()
+        return service
 
     def process(self, payload: object):
         if isinstance(payload, MergedTopics):

@@ -75,6 +75,46 @@ class TestRunBenchmarks:
         with pytest.raises(ValueError):
             bench.load_results(str(path))
 
+    def test_macro_entry_carries_the_kernel_relative_ratio(self, monkeypatch):
+        monkeypatch.setattr(bench, "QUICK_EVENTS", 800)
+        monkeypatch.setattr(bench, "QUICK_REPEATS", 1)
+        monkeypatch.setattr(
+            bench, "_bench_macro_twitter",
+            lambda quick: {"virtual_time_s": 1.0, "wall_time_s": 1.0,
+                           "fired_events": 1000, "events_per_sec": 1000.0,
+                           "final_parallelism": {}},
+        )
+        results = bench.run_benchmarks(quick=True, macro=True)
+        macro = results["benchmarks"]["macro_twitter"]
+        kernel_baseline = results["benchmarks"]["kernel"]["baseline_events_per_sec"]
+        assert macro["kernel_relative"] == pytest.approx(
+            1000.0 / kernel_baseline, rel=1e-3
+        )
+
+    def test_profile_macro_writes_loadable_pstats(self, monkeypatch, tmp_path):
+        import pstats
+
+        monkeypatch.setattr(
+            bench, "_bench_macro_twitter",
+            lambda quick: {"fired_events": 0},
+        )
+        path = str(tmp_path / "macro.pstats")
+        assert bench.profile_macro(path) == path
+        stats = pstats.Stats(path)
+        assert stats.total_calls >= 1
+
+
+def _macro_entry(events_per_sec: float, kernel_relative: float = None) -> dict:
+    entry = {
+        "events_per_sec": events_per_sec,
+        "fired_events": 1,
+        "wall_time_s": 1.0,
+        "virtual_time_s": 1.0,
+    }
+    if kernel_relative is not None:
+        entry["kernel_relative"] = kernel_relative
+    return entry
+
 
 def _synthetic(quick: bool, speedups: dict) -> dict:
     return {
@@ -124,22 +164,49 @@ class TestCheckRegression:
             _synthetic(False, {"kernel": 3.0 * 0.55}), committed
         ) != []
 
-    def test_macro_numbers_never_gate(self):
+    def test_macro_absolute_numbers_never_gate(self):
+        """Without a kernel_relative ratio the macro entry is trajectory data."""
         committed = _synthetic(False, {"kernel": 3.0})
-        committed["benchmarks"]["macro_twitter"] = {
-            "events_per_sec": 100000.0,
-            "fired_events": 1,
-            "wall_time_s": 1.0,
-            "virtual_time_s": 1.0,
-        }
+        committed["benchmarks"]["macro_twitter"] = _macro_entry(100000.0)
         fresh = _synthetic(False, {"kernel": 3.0})
-        fresh["benchmarks"]["macro_twitter"] = {
-            "events_per_sec": 1.0,  # catastrophically slower, still no gate
-            "fired_events": 1,
-            "wall_time_s": 1.0,
-            "virtual_time_s": 1.0,
-        }
+        # catastrophically slower in absolute terms, still no gate
+        fresh["benchmarks"]["macro_twitter"] = _macro_entry(1.0)
         assert bench.check_regression(fresh, committed) == []
+
+    def test_macro_kernel_relative_gates(self):
+        """The macro's machine-independent ratio is checked like a speedup."""
+        committed = _synthetic(False, {"kernel": 3.0})
+        committed["benchmarks"]["macro_twitter"] = _macro_entry(
+            100000.0, kernel_relative=0.10
+        )
+        ok = _synthetic(False, {"kernel": 3.0})
+        # absolute ev/s halved (slower machine) but the ratio held
+        ok["benchmarks"]["macro_twitter"] = _macro_entry(
+            50000.0, kernel_relative=0.095
+        )
+        assert bench.check_regression(ok, committed) == []
+        slow = _synthetic(False, {"kernel": 3.0})
+        slow["benchmarks"]["macro_twitter"] = _macro_entry(
+            100000.0, kernel_relative=0.05
+        )
+        failures = bench.check_regression(slow, committed)
+        assert len(failures) == 1
+        assert "macro_twitter" in failures[0]
+        assert "kernel-relative" in failures[0]
+
+    def test_macro_gate_requires_the_fresh_metric(self):
+        """A fresh run without the ratio (e.g. --no-macro) fails the gate."""
+        committed = _synthetic(False, {"kernel": 3.0})
+        committed["benchmarks"]["macro_twitter"] = _macro_entry(
+            100000.0, kernel_relative=0.10
+        )
+        fresh = _synthetic(False, {"kernel": 3.0})
+        failures = bench.check_regression(fresh, committed)
+        assert any("macro_twitter" in f and "missing" in f for f in failures)
+        stale = _synthetic(False, {"kernel": 3.0})
+        stale["benchmarks"]["macro_twitter"] = _macro_entry(100000.0)
+        failures = bench.check_regression(stale, committed)
+        assert any("macro_twitter" in f and "lacks" in f for f in failures)
 
 
 class TestMain:
@@ -149,10 +216,14 @@ class TestMain:
         out = str(tmp_path / "BENCH_core.json")
         assert bench.main(["--quick", "--no-macro", "--out", out]) == 0
         assert bench.load_results(out)["quick"] is True
-        # Self-check against the file just written always passes.
+        # --check against this run's own --out file: main writes before it
+        # checks, so the comparison is deterministic (identical payloads)
+        # while still driving load_results + check_regression + reporting.
+        # Comparing two independent toy-sized timed runs flakes on noisy
+        # machines.
         out2 = str(tmp_path / "BENCH_core2.json")
         assert (
-            bench.main(["--quick", "--no-macro", "--out", out2, "--check", out]) == 0
+            bench.main(["--quick", "--no-macro", "--out", out2, "--check", out2]) == 0
         )
         captured = capsys.readouterr()
         assert "regression check OK" in captured.out

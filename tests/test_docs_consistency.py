@@ -157,14 +157,41 @@ class TestPackaging:
         assert "= src" in cfg
 
     def test_no_runtime_third_party_imports(self):
-        """The library must stay stdlib-only at runtime."""
+        """The library must run stdlib-only: no hard third-party imports.
+
+        numpy is the one sanctioned *optional* accelerator (the vectorized
+        sampling hot path): its import must sit inside a try/except so the
+        library degrades gracefully when the package is absent. Everything
+        else on the banned list stays out entirely.
+        """
         banned = ("numpy", "scipy", "networkx", "pandas", "matplotlib")
+        optional = {"numpy"}
         for dirpath, _dirnames, filenames in os.walk(os.path.join(ROOT, "src")):
             for filename in filenames:
                 if not filename.endswith(".py"):
                     continue
                 source = read(os.path.join(dirpath, filename))
                 tree = ast.parse(source)
+                guarded = set()
+                for node in ast.walk(tree):
+                    if not isinstance(node, ast.Try):
+                        continue
+                    catches_import_error = any(
+                        handler.type is None
+                        or any(
+                            getattr(name, "id", None) in ("ImportError", "Exception")
+                            for name in (
+                                handler.type.elts
+                                if isinstance(handler.type, ast.Tuple)
+                                else [handler.type]
+                            )
+                        )
+                        for handler in node.handlers
+                    )
+                    if catches_import_error:
+                        for child in node.body:
+                            for sub in ast.walk(child):
+                                guarded.add(id(sub))
                 for node in ast.walk(tree):
                     if isinstance(node, ast.Import):
                         names = [alias.name for alias in node.names]
@@ -174,4 +201,11 @@ class TestPackaging:
                         continue
                     for name in names:
                         root = name.split(".")[0]
-                        assert root not in banned, (filename, name)
+                        if root not in banned:
+                            continue
+                        assert root in optional and id(node) in guarded, (
+                            filename,
+                            name,
+                            "third-party import must be optional "
+                            "(guarded by try/except ImportError)",
+                        )

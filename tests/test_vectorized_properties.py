@@ -1,0 +1,221 @@
+"""Property-based tests for vectorized block sampling and record items.
+
+The vectorization PR's correctness contract is *bit-identity*: block
+pre-draws may change when variates are pulled from a stream, never which
+variates come out. Hypothesis drives arbitrary seeds and block-size
+splits against the scalar reference, and checks that record-struct items
+round-trip equal to the objects they replace.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.items import RECORD_FIELDS, DataItem
+from repro.engine.udf import UDF
+from repro.simulation.randomness import (
+    DEFAULT_BLOCK_SIZE,
+    BlockSampler,
+    Deterministic,
+    Distribution,
+    Exponential,
+    Gamma,
+    LogNormal,
+    RandomStreams,
+    Uniform,
+    block_uniforms,
+)
+
+#: the distributions with a vectorized sample_block override, plus two
+#: that exercise the scalar fallback — all must satisfy the same contract
+DISTRIBUTIONS = [
+    Deterministic(0.004),
+    Exponential(0.01),
+    Uniform(0.001, 0.009),
+    Gamma(0.004, 0.7),
+    LogNormal(0.004, 1.2),
+]
+
+_seeds = st.integers(0, 2**32 - 1)
+# chunk sequences cross the numpy cutover (>=32) and stay scalar (<32)
+_splits = st.lists(st.integers(1, 80), min_size=1, max_size=8)
+
+
+def _scalar_reference(seed, n):
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(n)]
+
+
+# ----------------------------------------------------------------------
+# block_uniforms: the one primitive everything vectorized rests on
+# ----------------------------------------------------------------------
+
+
+class TestBlockUniforms:
+    @given(seed=_seeds, splits=_splits)
+    def test_any_split_matches_the_scalar_sequence(self, seed, splits):
+        """Blocks of any sizes concatenate to the scalar-only sequence."""
+        rng = random.Random(seed)
+        drawn = []
+        for size in splits:
+            drawn.extend(block_uniforms(rng, size))
+        assert drawn == _scalar_reference(seed, sum(splits))
+
+    @given(seed=_seeds, head=st.integers(1, 64), tail=st.integers(1, 64))
+    def test_interleaved_block_and_scalar_draws(self, seed, head, tail):
+        """A block draw leaves the stream exactly where scalars would."""
+        rng = random.Random(seed)
+        drawn = block_uniforms(rng, head)
+        drawn.append(rng.random())  # scalar draw in between
+        drawn.extend(block_uniforms(rng, tail))
+        assert drawn == _scalar_reference(seed, head + 1 + tail)
+
+    @given(seed=_seeds)
+    def test_zero_and_negative_counts_consume_nothing(self, seed):
+        rng = random.Random(seed)
+        assert block_uniforms(rng, 0) == []
+        assert block_uniforms(rng, -3) == []
+        assert rng.random() == random.Random(seed).random()
+
+    def test_non_mt_random_falls_back_to_scalar(self):
+        class Counting(random.Random):
+            calls = 0
+
+            def random(self):
+                type(self).calls += 1
+                return super().random()
+
+        rng = Counting(5)
+        reference = _scalar_reference(5, 40)
+        # SystemRandom-style subclasses keep working via the scalar loop
+        assert block_uniforms(rng, 40) == pytest.approx(reference)
+
+
+# ----------------------------------------------------------------------
+# Distribution.sample_block / BlockSampler: same contract, higher level
+# ----------------------------------------------------------------------
+
+
+class TestSampleBlock:
+    @pytest.mark.parametrize("dist", DISTRIBUTIONS, ids=repr)
+    @given(seed=_seeds, n=st.integers(0, 100))
+    @settings(max_examples=30)
+    def test_block_matches_scalar_samples(self, dist, seed, n):
+        scalar_rng = random.Random(seed)
+        block_rng = random.Random(seed)
+        expected = [dist.sample(scalar_rng) for _ in range(n)]
+        assert dist.sample_block(block_rng, n) == expected
+        # both consumers leave the stream at the same point
+        assert block_rng.getstate() == scalar_rng.getstate()
+
+    @pytest.mark.parametrize("dist", DISTRIBUTIONS, ids=repr)
+    @given(seed=_seeds, block_size=st.integers(1, 70), n=st.integers(1, 150))
+    @settings(max_examples=30)
+    def test_block_sampler_pops_the_scalar_sequence(self, dist, seed, block_size, n):
+        """Popping n variates == n scalar draws, for any block size."""
+        scalar_rng = random.Random(seed)
+        expected = [dist.sample(scalar_rng) for _ in range(n)]
+        sampler = BlockSampler(dist, random.Random(seed), block_size)
+        assert [sampler.next() for _ in range(n)] == expected
+
+    @given(seed=_seeds)
+    def test_pending_counts_predrawn_variates(self, seed):
+        sampler = BlockSampler(Exponential(0.01), random.Random(seed), 8)
+        assert sampler.pending() == 0
+        sampler.next()
+        assert sampler.pending() == 7
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            BlockSampler(Exponential(0.01), random.Random(1), 0)
+
+    @given(seed=_seeds)
+    def test_streams_same_name_same_sequence(self, seed):
+        """RandomStreams naming, not creation order, fixes the stream."""
+        first = RandomStreams(seed)
+        first.get("other")  # creation order must not matter
+        second = RandomStreams(seed)
+        a = block_uniforms(first.get("service:x"), 50)
+        b = [second.get("service:x").random() for _ in range(50)]
+        assert a == b
+
+
+# ----------------------------------------------------------------------
+# UDF service-sampler fast path
+# ----------------------------------------------------------------------
+
+
+class _CustomService(UDF):
+    def service_time(self, payload, rng):
+        return rng.random() * rng.random()
+
+    def process(self, payload):
+        return (payload,)
+
+
+class _PlainUDF(UDF):
+    def process(self, payload):
+        return (payload,)
+
+
+class TestServiceSamplerFastPath:
+    @pytest.mark.parametrize("dist", DISTRIBUTIONS, ids=repr)
+    @given(seed=_seeds, n=st.integers(1, 120))
+    @settings(max_examples=20)
+    def test_sampler_matches_service_time(self, dist, seed, n):
+        udf = _PlainUDF(service_dist=dist)
+        scalar_rng = random.Random(seed)
+        expected = [udf.service_time(None, scalar_rng) for _ in range(n)]
+        sampler = udf.make_service_sampler(random.Random(seed), block_size=16)
+        assert sampler is not None
+        assert [sampler(None) for _ in range(n)] == expected
+
+    def test_custom_service_time_disables_the_fast_path(self):
+        udf = _CustomService(service_dist=Exponential(0.01))
+        assert udf.make_service_sampler(random.Random(1)) is None
+
+    def test_deterministic_sampler_consumes_no_draws(self):
+        udf = _PlainUDF(service_dist=Deterministic(0.002))
+        rng = random.Random(9)
+        sampler = udf.make_service_sampler(rng)
+        assert [sampler(None) for _ in range(5)] == [0.002] * 5
+        assert rng.getstate() == random.Random(9).getstate()
+
+
+# ----------------------------------------------------------------------
+# record-struct items
+# ----------------------------------------------------------------------
+
+_payloads = st.one_of(st.integers(), st.floats(allow_nan=False), st.text(max_size=8))
+_maybe_time = st.one_of(st.none(), st.floats(0, 1e6, allow_nan=False))
+
+
+class TestDataItemRecords:
+    @given(payload=_payloads, created_at=st.floats(0, 1e6, allow_nan=False),
+           size=st.integers(1, 1 << 20), emitted_at=_maybe_time,
+           enqueued_at=_maybe_time, sampled=st.booleans())
+    def test_record_round_trip_preserves_every_field(
+        self, payload, created_at, size, emitted_at, enqueued_at, sampled
+    ):
+        item = DataItem(payload, created_at, size, sampled)
+        item.emitted_at = emitted_at
+        item.enqueued_at = enqueued_at
+        clone = DataItem.from_record(item.to_record())
+        for field in RECORD_FIELDS:
+            assert getattr(clone, field) == getattr(item, field)
+
+    def test_record_layout_matches_slots(self):
+        assert RECORD_FIELDS == DataItem.__slots__
+
+    def test_hop_copy_resets_per_hop_fields_records_do_not(self):
+        item = DataItem("p", 1.0, 64)
+        item.emitted_at = 2.0
+        item.enqueued_at = 3.0
+        hop = item.hop_copy()
+        assert hop.emitted_at is None and hop.enqueued_at is None
+        rec = DataItem.from_record(item.to_record())
+        assert rec.emitted_at == 2.0 and rec.enqueued_at == 3.0
