@@ -1,76 +1,78 @@
-"""Two elastic jobs sharing one worker pool.
+"""Two elastic jobs sharing one pool — with admission arbitration.
 
 The paper's closing argument: with latency-constraint-driven elasticity,
 "no permanent peak load provisioning is required" — so a cluster can
-host several jobs whose peaks do not coincide. This example runs two
-latency-constrained pipelines with *anti-phased* load on one engine: when
-job A peaks, job B idles, and the shared pool absorbs both within a
-capacity that static peak provisioning for both would exceed.
+host several jobs whose peaks do not coincide. This example runs the
+repo's canonical shared-cluster scenario: two latency-constrained
+pipelines (``alpha``, weight 3, and ``beta``, weight 1) with anti-phased
+load peaks plus one coincident window on a pool deliberately too small
+for both peaks at once.
+
+Under weighted fair-share admission the run exercises every contention
+outcome the resource manager supports:
+
+* ``beta`` peaks first and grows past its fair share of the pool;
+* when ``alpha`` ramps up while still under *its* share, arbitration
+  **preempts** ``beta``'s reducible tasks to make room;
+* requests the pool cannot cover even after preemption are **denied**
+  at admission time — the scaler records them as unresolvable and
+  retries on later rounds (no partially-wired scale-up can ever occur,
+  because slots are reserved before a scale-up is reported applied).
 
 Run:  python examples/shared_cluster.py
 """
 
-from repro import (
-    ConstantRate,
-    EngineConfig,
-    Gamma,
-    PipelineBuilder,
-    PiecewiseRate,
-    StreamProcessingEngine,
+from repro.workloads.multi_job import (
+    SharedClusterParams,
+    build_shared_cluster_engine,
+    collect_shared_cluster_result,
 )
 
 
-def build_job(name: str, segments) -> "BuiltPipeline":
-    return (
-        PipelineBuilder(name)
-        .source(lambda now, rng: rng.random(), rate=PiecewiseRate(segments))
-        .map(
-            f"{name}-analyze",
-            lambda x: x * x,
-            service=Gamma(0.004, 0.7),
-            parallelism=(2, 1, 24),
+def main() -> None:
+    params = SharedClusterParams(duration=240.0)
+    engine, jobs = build_shared_cluster_engine(params)
+    alpha, beta = jobs
+
+    print(
+        f"shared pool: {params.workers} workers x {params.slots_per_worker} "
+        f"slots, admission={params.admission} "
+        f"(weights alpha={params.alpha_weight:g}, beta={params.beta_weight:g})"
+    )
+    print(f"{'time':>5}  {'p(alpha)':>8}  {'p(beta)':>7}  "
+          f"{'denials':>7}  {'preempted':>9}  {'slots free':>10}")
+    resources = engine.resources
+    for _ in range(16):
+        engine.run(params.duration / 16.0)
+        print(
+            f"{engine.now:5.0f}  {alpha.parallelism('worker'):8d}  "
+            f"{beta.parallelism('worker'):7d}  "
+            f"{resources.admission_denials:7d}  "
+            f"{resources.preempted_tasks:9d}  "
+            f"{resources.free_slots_available():10d}"
         )
-        .sink()
-        .constrain(bound=0.030)
-        .build()
+
+    result = collect_shared_cluster_result(engine, jobs, params)
+    print()
+    for job in result["jobs"]:
+        account = job["account"]
+        print(
+            f"{job['job']}: fulfillment {job['fulfillment'] * 100:.1f}%, "
+            f"{account['denials']} denials, "
+            f"{account['preemptions_suffered']} tasks preempted away, "
+            f"{account['preemptions_inflicted']} preemptions inflicted"
+        )
+    cluster = result["cluster"]
+    print(f"fairness (Jain, per-job fulfillment): {result['fairness']:.4f}")
+    print(
+        f"cluster: {cluster['admission_denials']} admission denials, "
+        f"{cluster['preempted_tasks']} preempted tasks, "
+        f"{cluster['task_hours'] * 3600:.0f} task-seconds"
     )
 
-
-def main() -> None:
-    # Anti-phased step loads: A peaks while B idles and vice versa.
-    job_a_load = [(0.0, 150.0), (60.0, 900.0), (120.0, 150.0), (180.0, 900.0)]
-    job_b_load = [(0.0, 900.0), (60.0, 150.0), (120.0, 900.0), (180.0, 150.0)]
-    # Pool sized for ONE peak plus change — static provisioning of both
-    # jobs at peak would not fit.
-    config = EngineConfig.nephele_adaptive(elastic=True, worker_pool=10, seed=17)
-    engine = StreamProcessingEngine(config)
-    job_a = engine.submit(*_parts(build_job("alpha", job_a_load)))
-    job_b = engine.submit(*_parts(build_job("beta", job_b_load)))
-
-    print(f"shared pool: {config.worker_pool} workers x {config.slots_per_worker} slots")
-    print(f"{'time':>5}  {'p(alpha)':>8}  {'p(beta)':>7}  {'leased workers':>14}  {'slots free':>10}")
-    for _ in range(16):
-        engine.run(15.0)
-        print(
-            f"{engine.now:5.0f}  {job_a.parallelism('alpha-analyze'):8d}  "
-            f"{job_b.parallelism('beta-analyze'):7d}  "
-            f"{engine.resources.leased_workers:14d}  "
-            f"{engine.resources.free_slots_available():10d}"
-        )
-
-    print()
-    for job in (job_a, job_b):
-        tracker = job.trackers[0]
-        print(
-            f"{job.job_graph.name}: constraint fulfilled "
-            f"{tracker.fulfillment_ratio * 100:.1f}% of {tracker.intervals_observed} intervals"
-        )
-    print(f"total task-seconds: {engine.resources.task_seconds():.0f}")
-    print(f"worker-hours: {engine.resources.worker_hours() * 3600:.0f} worker-seconds")
-
-
-def _parts(built):
-    return built.graph, built.constraints
+    # The scenario is only demonstrative if contention actually happened.
+    assert cluster["admission_denials"] > 0, "expected at least one denial"
+    assert cluster["preempted_tasks"] > 0, "expected at least one preemption"
 
 
 if __name__ == "__main__":

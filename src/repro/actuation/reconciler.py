@@ -50,6 +50,7 @@ from repro.actuation.config import ActuationConfig
 from repro.obs.trace import (
     BRANCH_ACTUATION_FAILED,
     BRANCH_ACTUATION_PENDING,
+    BRANCH_ADMISSION_DENIED,
     BRANCH_MIGRATION_FAILED,
     BRANCH_MIGRATION_PENDING,
     BRANCH_MIGRATION_ROLLED_BACK,
@@ -150,6 +151,8 @@ class ReconciliationController:
         self.partials = 0
         #: requests permanently abandoned after retry exhaustion
         self.abandoned = 0
+        #: scale-ups refused by the cluster's admission controller
+        self.admission_denials = 0
         # state-migration lifecycle counters
         self.migrations_started = 0
         self.migrations_applied = 0
@@ -383,6 +386,16 @@ class ReconciliationController:
             except InsufficientResourcesError:
                 failure = "insufficient cluster resources"
             else:
+                if result.denied:
+                    # Admission denial is a first-class retryable outcome:
+                    # nothing was announced, so the request re-enters the
+                    # normal retry/backoff path and may succeed once other
+                    # jobs release slots.
+                    self.admission_denials += 1
+                    self._count("admission_denials")
+                    self._emit(self._trace(BRANCH_ADMISSION_DENIED, req, result.reason))
+                    self._fail(req, f"admission denied: {result.reason}")
+                    return
                 self._succeed(req, result)
                 return
         self._fail(req, failure)
@@ -509,10 +522,18 @@ class ReconciliationController:
         try:
             result = self.scheduler.set_parallelism(req.vertex, req.target)
         except InsufficientResourcesError:
+            result = None
+            reason = "insufficient cluster resources"
+        if result is not None and result.denied:
+            reason = f"admission denied: {result.reason}"
+            result = None
+            self.admission_denials += 1
+            self._count("admission_denials")
+            self._emit(self._trace(BRANCH_ADMISSION_DENIED, req, reason))
+        if result is None:
             self.state_manager.rollback_migration(plan)
             self.migrations_rolled_back += 1
             self._count("migrations_rolled_back")
-            reason = "insufficient cluster resources"
             self._record("migration-rolled-back", req.vertex, req.attempt, reason)
             self._emit(self._trace(
                 BRANCH_MIGRATION_ROLLED_BACK, req,
@@ -676,6 +697,10 @@ class ReconciliationController:
                 "applied": self.migrations_applied,
                 "rolled_back": self.migrations_rolled_back,
             }
+        # Only present when admission ever refused a request, so manifests
+        # of single-job runs stay byte-identical to pre-admission output.
+        if self.admission_denials:
+            summary["admission_denials"] = self.admission_denials
         return summary
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -57,6 +57,7 @@ class BuiltPipeline:
         actuation: Optional[ActuationConfig] = None,
         policy: Optional[PolicySpec] = None,
         stateful: Optional[dict] = None,
+        share: Optional[Tuple[Optional[int], int, float]] = None,
     ) -> None:
         self.graph = graph
         self.constraints = constraints
@@ -74,6 +75,9 @@ class BuiltPipeline:
         #: stateful vertex declarations from ``.stateful(...)``
         #: ({vertex name -> StatefulVertexSpec}; empty = stateless job)
         self.stateful: dict = dict(stateful or {})
+        #: shared-cluster slot account ``(quota, priority, weight)`` from
+        #: ``.share(...)`` (None = unconstrained defaults)
+        self.share = share
 
     def submit_to(self, engine):
         """Deprecated delegate for ``engine.submit(self)``.
@@ -123,6 +127,7 @@ class PipelineBuilder:
         self._actuation: Optional[ActuationConfig] = None
         self._policy: Optional[PolicySpec] = None
         self._stateful: dict = {}
+        self._share: Optional[Tuple[Optional[int], int, float]] = None
 
     # ------------------------------------------------------------------
     # stages
@@ -399,6 +404,29 @@ class PipelineBuilder:
         self._policy = PolicySpec(spec.name, merged)
         return self
 
+    def share(
+        self,
+        quota: Optional[int] = None,
+        priority: int = 0,
+        weight: float = 1.0,
+    ) -> "PipelineBuilder":
+        """Parameterize this job's slot account on a shared cluster.
+
+        ``quota`` caps the job's held + reserved slots (None = uncapped),
+        ``priority`` orders strict-priority arbitration (higher wins) and
+        ``weight`` sizes its weighted fair share — all consulted by the
+        engine's admission controller (see :mod:`repro.engine.admission`;
+        the engine's ``EngineConfig.admission`` picks the policy).
+
+        >>> _ = PipelineBuilder("p").share(quota=8, weight=2.0)
+        """
+        if quota is not None and quota < 1:
+            raise ValueError(f"quota must be >= 1 (got {quota})")
+        if weight <= 0:
+            raise ValueError(f"weight must be > 0 (got {weight})")
+        self._share = (quota, int(priority), float(weight))
+        return self
+
     def build(self) -> BuiltPipeline:
         """Validate and return the built pipeline."""
         if self._source is None:
@@ -427,4 +455,5 @@ class PipelineBuilder:
             actuation=self._actuation,
             policy=self._policy,
             stateful=self._stateful,
+            share=self._share,
         )

@@ -102,10 +102,33 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--csv", metavar="DIR", help="export series CSVs into DIR")
 
     run = sub.add_parser("run", help="fault-free elastic run with observability export")
-    run.add_argument("--duration", type=float, default=120.0, help="virtual seconds to run")
-    run.add_argument("--rate", type=float, default=400.0, help="source rate (items/s)")
-    run.add_argument("--bound", type=float, default=0.030, help="latency bound (s)")
-    run.add_argument("--seed", type=int, default=7, help="engine seed")
+    run.add_argument("--duration", type=float, default=None,
+                     help="virtual seconds to run (default 120; 240 with "
+                          "--shared-cluster)")
+    run.add_argument("--rate", type=float, default=None,
+                     help="source rate, items/s (default 400; 1400 per-job "
+                          "peak with --shared-cluster)")
+    run.add_argument("--bound", type=float, default=None,
+                     help="latency bound, s (default 0.030; 0.060 with "
+                          "--shared-cluster)")
+    run.add_argument("--seed", type=int, default=None,
+                     help="engine seed (default 7; 11 with --shared-cluster)")
+    run.add_argument("--shared-cluster", action="store_true",
+                     help="run the canonical two-job shared-cluster scenario "
+                          "instead: anti-phased load peaks on an "
+                          "under-provisioned pool, admission arbitration "
+                          "with denials and preemption, per-job fulfillment "
+                          "and Jain's fairness in the report")
+    run.add_argument("--workers", type=int, default=3, metavar="N",
+                     help="with --shared-cluster: pool size in workers")
+    run.add_argument("--slots-per-worker", type=int, default=4, metavar="S",
+                     help="with --shared-cluster: slots per worker")
+    run.add_argument("--admission", default="fair-share",
+                     choices=("fcfs", "priority", "fair-share"),
+                     help="with --shared-cluster: slot arbitration policy")
+    run.add_argument("--placement", default="pack",
+                     choices=("pack", "spread", "network"),
+                     help="with --shared-cluster: task placement strategy")
     run.add_argument("--obs-dir", metavar="DIR", default="obs-run",
                      help="export directory for manifest/metrics/trace")
     run.add_argument("--partitions", type=int, default=None, metavar="N",
@@ -210,6 +233,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="the stateful policy tournament: same race on a "
                             "stateful worker, so rescales pay migration "
                             "pauses (see SweepGrid.tournament_stateful)")
+    sweep.add_argument("--shared-cluster", action="store_true",
+                       help="the built-in 2-shard shared-cluster grid: two "
+                            "jobs contending for one pool under fair-share "
+                            "admission (see SweepGrid.shared_cluster)")
 
     trace = sub.add_parser("trace", help="rate traces and scaler decision traces")
     trace.add_argument("--check", action="store_true",
@@ -383,6 +410,48 @@ def _run_obs(args: argparse.Namespace) -> None:
         print(f"  {kind:<9s} {path}")
 
 
+def _run_shared_cluster(args: argparse.Namespace) -> int:
+    """Two jobs on one under-provisioned pool: the admission scenario."""
+    from repro.workloads.multi_job import SharedClusterParams, run_shared_cluster
+
+    defaults = SharedClusterParams()
+    params = SharedClusterParams(
+        rate=args.rate if args.rate is not None else defaults.rate,
+        bound=args.bound if args.bound is not None else defaults.bound,
+        duration=args.duration if args.duration is not None else defaults.duration,
+        seed=args.seed if args.seed is not None else defaults.seed,
+        workers=args.workers,
+        slots_per_worker=args.slots_per_worker,
+        admission=args.admission,
+        placement=args.placement,
+    )
+    if args.policy is not None:
+        params.policy = args.policy
+    result = run_shared_cluster(params)
+
+    p = result["params"]
+    print(f"shared cluster: {p['workers']} workers x {p['slots_per_worker']} "
+          f"slots, admission={p['admission']}, placement={p['placement']}, "
+          f"{result['virtual_time_s']:.0f}s virtual, seed={p['seed']}")
+    for job in result["jobs"]:
+        account = job["account"]
+        fulfillment = job["fulfillment"]
+        shown = "-" if fulfillment is None else f"{fulfillment:.3f}"
+        print(f"  job {job['job']:<8s} fulfillment={shown} "
+              f"violations={job['violations']} weight={account['weight']:g} "
+              f"held={account['held']} denials={account['denials']} "
+              f"preempted={account['preemptions_suffered']}")
+    fairness = result["fairness"]
+    cluster = result["cluster"]
+    shown = "-" if fairness is None else f"{fairness:.4f}"
+    print(f"fairness (Jain, per-job fulfillment): {shown}")
+    print(f"cluster: {cluster['total_slots']} slots, "
+          f"{cluster['admission_denials']} admission denials, "
+          f"{cluster['preempted_tasks']} preempted tasks, "
+          f"{cluster['task_hours']:.3f} task-hours")
+    return 0
+
+
 def _run_partitioned(args: argparse.Namespace) -> int:
     from repro.sweep.partition import (
         PARTITION_STATS_FILE,
@@ -530,7 +599,8 @@ def _build_sweep_grid(args: argparse.Namespace):
 
     built_ins = [
         flag
-        for flag in ("--grid", "--quick", "--tournament", "--tournament-stateful")
+        for flag in ("--grid", "--quick", "--tournament", "--tournament-stateful",
+                     "--shared-cluster")
         if getattr(args, flag.lstrip("-").replace("-", "_"), None)
     ]
     if len(built_ins) > 1:
@@ -543,6 +613,8 @@ def _build_sweep_grid(args: argparse.Namespace):
         grid = SweepGrid.tournament()
     elif args.tournament_stateful:
         grid = SweepGrid.tournament_stateful()
+    elif args.shared_cluster:
+        grid = SweepGrid.shared_cluster()
     else:
         grid = SweepGrid()
     overrides = {}
@@ -938,6 +1010,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             _run_experiment(name, args.quick, args.csv)
         return 0
     if args.command == "run":
+        if args.shared_cluster:
+            return _run_shared_cluster(args)
+        if args.duration is None:
+            args.duration = 120.0
+        if args.rate is None:
+            args.rate = 400.0
+        if args.bound is None:
+            args.bound = 0.030
+        if args.seed is None:
+            args.seed = 7
         if args.partitions is not None:
             return _run_partitioned(args)
         _run_obs(args)

@@ -20,6 +20,7 @@ from repro.core.policy import PolicyRoundContext, ScalingPolicy
 from repro.core.scale_reactively import ScalingDecision
 from repro.obs.trace import (
     BRANCH_ACTUATION_PENDING,
+    BRANCH_ADMISSION_DENIED,
     BRANCH_COOLDOWN,
     BRANCH_INACTIVE,
     BRANCH_SCALE_DOWN_CLAMPED,
@@ -236,6 +237,22 @@ class ElasticScaler:
                             p_before=current.get(vertex_name),
                             p_target=target,
                             detail="insufficient cluster resources",
+                        )
+                    )
+                    continue
+                if result.denied:
+                    # Admission refused the scale-up (quota or cluster
+                    # capacity) — like infeasibility, the guarantee cannot
+                    # be met right now; record it instead of failing silently.
+                    self.unresolvable_log.append((self.sim.now, vertex_name))
+                    extra_records.append(
+                        TraceRecord(
+                            self.sim.now, "*", BRANCH_ADMISSION_DENIED,
+                            vertex=vertex_name,
+                            job=self._job_name(), round=self.rounds,
+                            p_before=current.get(vertex_name),
+                            p_target=target,
+                            detail=result.reason,
                         )
                     )
                     continue

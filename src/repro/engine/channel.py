@@ -54,6 +54,7 @@ class NetworkModel:
         per_batch_overhead: float = 0.00004,
         per_item_overhead: float = 0.000002,
         connection_setup: float = 0.0,
+        cross_worker_penalty: float = 0.0,
     ) -> None:
         if base_latency < 0 or bandwidth <= 0:
             raise ValueError("need base_latency >= 0 and bandwidth > 0")
@@ -61,6 +62,8 @@ class NetworkModel:
             raise ValueError("shipping overheads must be >= 0")
         if connection_setup < 0:
             raise ValueError("connection_setup must be >= 0")
+        if cross_worker_penalty < 0:
+            raise ValueError("cross_worker_penalty must be >= 0")
         self.base_latency = base_latency
         self.bandwidth = bandwidth
         self.per_batch_overhead = per_batch_overhead
@@ -69,6 +72,10 @@ class NetworkModel:
         #: the paper: new channels "initially worsen measured channel
         #: latency", part of why scale-ups get an inactivity phase)
         self.connection_setup = connection_setup
+        #: extra per-transfer latency charged to channels whose endpoints
+        #: sit on different workers (the scheduler stamps it onto such
+        #: channels) — makes network-aware placement measurable end to end
+        self.cross_worker_penalty = cross_worker_penalty
 
     def transfer_time(self, batch_bytes: int) -> float:
         """In-flight time for a transfer of ``batch_bytes`` bytes."""
@@ -87,6 +94,7 @@ class RuntimeChannel:
         "capacity", "reporter", "_outstanding", "_pending",
         "_pending_listener_armed", "_unblock_waiters", "closed",
         "items_emitted", "items_delivered", "batches_shipped",
+        "latency_penalty",
     )
 
     _ids = 0
@@ -116,6 +124,9 @@ class RuntimeChannel:
         self._pending_listener_armed = False
         self._unblock_waiters: List[Callable[[], None]] = []
         self.closed = False
+        #: extra per-transfer latency for cross-worker endpoints (0.0 for
+        #: co-located tasks; set by the scheduler at wiring time)
+        self.latency_penalty = 0.0
 
         #: lifetime counters for tests and recorders
         self.items_emitted = 0
@@ -162,6 +173,8 @@ class RuntimeChannel:
                 if item.sampled:
                     self.reporter.record_output_batch_latency(now - item.emitted_at)
         transfer = self.network.transfer_time(batch_bytes)
+        if self.latency_penalty:
+            transfer += self.latency_penalty
         if self.batches_shipped == 0:
             transfer += self.network.connection_setup
         self.batches_shipped += 1

@@ -119,8 +119,15 @@ class EngineConfig:
     #: cluster size (paper: 130 workers x 4 cores)
     worker_pool: int = 130
     slots_per_worker: int = 4
-    #: task placement strategy: "pack" or "spread"
+    #: task placement strategy: "pack", "spread" or "network"
+    #: (network-aware: co-locate connected vertices of the same job)
     placement: str = "pack"
+    #: slot arbitration when jobs compete for a full pool: "fcfs" (no
+    #: preemption), "priority" or "fair-share" (see repro.engine.admission)
+    admission: str = "fcfs"
+    #: extra per-transfer latency charged to channels whose endpoints sit
+    #: on different workers (0 = off; pairs with placement="network")
+    cross_worker_penalty: float = 0.0
     #: per-worker CPU speed factors, cycled over leased workers; the
     #: default (None) keeps the paper's homogeneity assumption — pass
     #: e.g. (1.0, 1.0, 1.0, 0.5) to inject hot-spot workers
@@ -160,6 +167,15 @@ class EngineConfig:
         return replace(config, **overrides)
 
 
+def _vertex_neighbors(job_graph: JobGraph) -> Dict[str, set]:
+    """Vertex adjacency of a job graph (for network-aware placement)."""
+    neighbors: Dict[str, set] = {name: set() for name in job_graph.vertices}
+    for edge in job_graph.edges:
+        neighbors[edge.source.name].add(edge.target.name)
+        neighbors[edge.target.name].add(edge.source.name)
+    return neighbors
+
+
 class DeployedJob:
     """One deployed job's full state: runtime graph, QoS plumbing, scaler.
 
@@ -180,12 +196,34 @@ class DeployedJob:
         actuation: Optional[ActuationConfig] = None,
         policy: Optional[object] = None,
         stateful: Optional[Dict[str, StatefulVertexSpec]] = None,
+        quota: Optional[int] = None,
+        priority: int = 0,
+        weight: float = 1.0,
     ) -> None:
         DeployedJob._ids += 1
         self.job_id = DeployedJob._ids
         self.engine = engine
         self.job_graph = job_graph
         config = engine.config
+        # Open the job's slot account before any allocation so deployment
+        # and every later scale-up are attributed (and quota-checked).
+        account_name = job_graph.name or f"job{self.job_id}"
+        if any(a.name == account_name for a in engine.resources._accounts.values()):
+            account_name = f"{account_name}#job{self.job_id}"
+        self.account = engine.resources.register_job(
+            self.job_id, account_name, quota=quota, priority=priority, weight=weight
+        )
+        engine.resources.set_preemption_hook(self.job_id, self._preempt_slots)
+        engine.resources.set_neighbor_map(self.job_id, _vertex_neighbors(job_graph))
+        # Metric keys: the first job to claim a vertex name keeps the bare
+        # key; later jobs reusing the name get job-qualified keys so two
+        # jobs never silently mix metric rows.
+        self._metric_keys: Dict[str, str] = {}
+        for name in job_graph.vertices:
+            owner = engine._vertex_key_owner.setdefault(name, self.job_id)
+            self._metric_keys[name] = (
+                name if owner == self.job_id else f"{name}#job{self.job_id}"
+            )
         self.constraints: List[LatencyConstraint] = list(constraints)
         self.trackers: List[ConstraintTracker] = [ConstraintTracker(c) for c in self.constraints]
         self.runtime = RuntimeGraph(job_graph)
@@ -227,7 +265,9 @@ class DeployedJob:
             on_task_created=self._on_task_created,
             on_channel_created=self._on_channel_created,
             metrics=engine.metrics,
+            job_id=self.job_id,
         )
+        self.scheduler.on_preempted = self._on_task_preempted
         obs = engine.observability
         #: structured scaler decision log (None when tracing is off)
         self.trace: Optional[DecisionTrace] = None
@@ -343,8 +383,9 @@ class DeployedJob:
         task.reporter = reporter
         self._pick_manager().attach_task(task, reporter)
         if self.engine.metrics is not None:
+            key = self._metric_keys.get(task.vertex_name, task.vertex_name)
             task.service_histogram = self.engine.metrics.histogram(
-                f"service_time.{task.vertex_name}"
+                f"service_time.{key}"
             )
         job_vertex = self.job_graph.vertices[task.vertex_name]
         if not job_vertex.outputs:
@@ -363,6 +404,25 @@ class DeployedJob:
                     second(latency, payload)
 
                 task.process_probe = chained
+
+    def _preempt_slots(self, slots: int, requester: str) -> int:
+        """Arbitration hook: force-stop up to ``slots`` reducible tasks."""
+        return self.scheduler.preempt_slots(slots, requester)
+
+    def _on_task_preempted(self, task: RuntimeTask, requester: str) -> None:
+        if self.trace is not None:
+            from repro.obs.trace import BRANCH_PREEMPTED, TraceRecord
+
+            rv = self.runtime.vertex(task.vertex_name)
+            self.trace.append(TraceRecord(
+                self.engine.sim.now, "*", BRANCH_PREEMPTED,
+                vertex=task.vertex_name,
+                job=self.job_graph.name,
+                p_before=rv.parallelism + 1,
+                p_applied=rv.parallelism,
+                detail=f"preempted in favor of {requester}" if requester
+                else "preempted by cluster arbitration",
+            ))
 
     def _on_stateful_task_failed(self, task: RuntimeTask) -> float:
         """Crash hook: abort in-transfer migrations, run checkpoint restore.
@@ -500,6 +560,7 @@ class StreamProcessingEngine:
             per_batch_overhead=self.config.per_batch_overhead,
             per_item_overhead=self.config.per_item_overhead,
             connection_setup=self.config.connection_setup,
+            cross_worker_penalty=self.config.cross_worker_penalty,
         )
         self.resources = ResourceManager(
             self.sim,
@@ -511,9 +572,13 @@ class StreamProcessingEngine:
                 if self.config.worker_speed_factors
                 else None
             ),
+            admission=self.config.admission,
         )
         #: all deployed jobs, in submission order
         self.jobs: List[DeployedJob] = []
+        #: which job first claimed each bare vertex name for metric keys
+        #: (later jobs reusing the name get job-qualified keys)
+        self._vertex_key_owner: Dict[str, int] = {}
         #: probes to install on the next submitted job's vertices
         self._pending_probes: Dict[str, Callable[[float, object], None]] = {}
         if self.observability is not None and self.observability.metrics:
@@ -594,6 +659,9 @@ class StreamProcessingEngine:
         actuation: Optional[ActuationConfig] = None,
         policy: Optional[object] = None,
         stateful: Optional[Dict[str, StatefulVertexSpec]] = None,
+        quota: Optional[int] = None,
+        priority: int = 0,
+        weight: float = 1.0,
     ) -> DeployedJob:
         """Deploy a job and start its master control loop.
 
@@ -612,6 +680,12 @@ class StreamProcessingEngine:
         :class:`~repro.core.policy.PolicySpec`. Passing one implies
         elasticity for this job; None keeps the engine config's policy
         (the paper's ScaleReactively by default).
+
+        ``quota``/``priority``/``weight`` parameterize the job's slot
+        account for shared-cluster admission (quota ceiling, strict
+        priority, weighted fair share — see
+        :mod:`repro.engine.admission`); the defaults leave the job
+        unconstrained under first-come arbitration.
         """
         from repro.builder import BuiltPipeline
 
@@ -635,6 +709,9 @@ class StreamProcessingEngine:
             actuation = pipeline.actuation
             policy = pipeline.policy
             stateful = pipeline.stateful or None
+            share = getattr(pipeline, "share", None)
+            if share is not None:
+                quota, priority, weight = share
         for job in self.jobs:
             if job.job_graph is job_graph:
                 raise RuntimeError("this job graph is already deployed")
@@ -643,7 +720,7 @@ class StreamProcessingEngine:
         job = DeployedJob(
             self, job_graph, constraints, probes,
             fault_plan=fault_plan, actuation=actuation, policy=policy,
-            stateful=stateful,
+            stateful=stateful, quota=quota, priority=priority, weight=weight,
         )
         self.jobs.append(job)
         return job

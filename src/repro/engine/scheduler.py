@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, NamedTuple, Optional
 
 from repro.engine.channel import NetworkModel, RuntimeChannel
 from repro.engine.batching import BatchingStrategy
-from repro.engine.resources import ResourceManager
+from repro.engine.resources import InsufficientResourcesError, ResourceManager
 from repro.engine.runtime import RuntimeGraph, RuntimeVertex
 from repro.engine.task import OutputGate, RuntimeTask
 from repro.graphs.job_graph import JobEdge, JobGraph, JobVertex
@@ -37,10 +37,18 @@ class ScalingResult(NamedTuple):
     (tasks below ``min_parallelism`` and still-pending additions are
     never drained) — ``requested < 0`` with ``applied == 0`` means the
     reduction was suppressed entirely.
+
+    A scale-up is only ever reported as applied once the cluster's
+    admission controller holds its slots; ``denied`` marks a scale-up
+    the admission controller refused (``applied == 0``, ``reason``
+    explains why). Denial is retryable — the reconciler re-issues the
+    request on later ticks.
     """
 
     requested: int
     applied: int
+    denied: bool = False
+    reason: str = ""
 
     @property
     def clamped(self) -> bool:
@@ -77,6 +85,7 @@ class Scheduler:
         on_task_created: Optional[Callable[[RuntimeTask], None]] = None,
         on_channel_created: Optional[Callable[[RuntimeChannel], None]] = None,
         metrics=None,
+        job_id: object = None,
     ) -> None:
         self.sim = sim
         self.runtime = runtime
@@ -94,6 +103,12 @@ class Scheduler:
         #: optional MetricsRegistry; scaling/failure actions are counted
         #: under ``scheduler.*`` when set
         self.metrics = metrics
+        #: slot-account identity used for admission requests; None means
+        #: the resource manager's anonymous default account
+        self.job_id = job_id
+        #: optional hook called as ``(task, requester_name)`` right after
+        #: a task is force-stopped by cluster arbitration
+        self.on_preempted: Optional[Callable[[RuntimeTask, str], None]] = None
         #: optional hook called with the crashing task *before* it fails;
         #: returns extra recovery seconds added to the restart delay
         #: (checkpoint-restore replay — set only for stateful jobs)
@@ -146,7 +161,7 @@ class Scheduler:
         if profile is not None:
             task.rate_profile = profile
         task.on_stopped = self._on_task_stopped
-        self.resources.allocate_slot(task)
+        self.resources.allocate_slot(task, self.job_id)
         rv.tasks.append(task)
         # Gates exist from creation so wiring can happen before start().
         for gate_index, edge in enumerate(job_vertex.outputs):
@@ -192,6 +207,14 @@ class Scheduler:
             capacity=self.channel_capacity,
         )
         channel.producer = producer
+        # Cross-worker edges pay the configured channel-latency penalty
+        # (network-aware placement makes co-location visible end to end).
+        penalty = getattr(self.network, "cross_worker_penalty", 0.0)
+        if penalty:
+            pw = self.resources.worker_of(producer)
+            cw = self.resources.worker_of(consumer)
+            if pw is not None and cw is not None and pw is not cw:
+                channel.latency_penalty = penalty
         consumer.in_channels.append(channel)
         self.runtime.register_channel(channel)
         if self.on_channel_created is not None:
@@ -209,15 +232,26 @@ class Scheduler:
         the clamped target (``requested``) and the signed change actually
         initiated (``applied``). Pending scale-ups count as initiated, so
         repeated calls are idempotent.
+
+        A scale-up first reserves its slots with the cluster's admission
+        controller; on denial nothing is announced and the result carries
+        ``denied=True`` with the reason. A granted scale-up therefore
+        *holds* the slots it will consume when it materializes after the
+        startup delay — deferred materialization cannot fail.
         """
         rv = self.runtime.vertex(vertex_name)
         job_vertex = rv.job_vertex
         target = job_vertex.clamp(target)
         current = rv.target_parallelism
         if target > current:
-            self.scale_up(vertex_name, target - current)
+            count = target - current
+            grant = self.resources.request_slots(self.job_id, count)
+            if not grant.admitted:
+                self._count("scheduler.admission_denials")
+                return ScalingResult(count, 0, denied=True, reason=grant.reason)
+            self._announce_scale_up(rv, count)
             self._notify_rescaled(vertex_name)
-            return ScalingResult(target - current, target - current)
+            return ScalingResult(count, count)
         if target < current:
             # Never drain tasks that have not materialized yet; reductions
             # apply to live tasks only.
@@ -234,15 +268,37 @@ class Scheduler:
             self.on_rescaled(vertex_name)
 
     def scale_up(self, vertex_name: str, count: int) -> None:
-        """Announce ``count`` new tasks; they start after the startup delay."""
+        """Announce ``count`` new tasks; they start after the startup delay.
+
+        Reserves the slots synchronously; raises
+        :class:`InsufficientResourcesError` if admission denies them, so
+        callers learn about an impossible scale-up *now* rather than via
+        an exception escaping a sim-heap callback ``startup_delay`` later.
+        """
         if count <= 0:
             return
-        rv = self.runtime.vertex(vertex_name)
+        grant = self.resources.request_slots(self.job_id, count)
+        if not grant.admitted:
+            self._count("scheduler.admission_denials")
+            raise InsufficientResourcesError(grant.reason)
+        self._announce_scale_up(self.runtime.vertex(vertex_name), count)
+
+    def _announce_scale_up(self, rv: RuntimeVertex, count: int) -> None:
         rv.pending_additions += count
         self.sim.schedule(self.startup_delay, self._materialize_scale_up, rv, count)
 
     def _materialize_scale_up(self, rv: RuntimeVertex, count: int) -> None:
         rv.pending_additions -= count
+        # All-or-nothing: the reservation held since request time
+        # guarantees this capacity exists. If it somehow does not (a
+        # direct caller bypassed admission), abort the whole batch before
+        # creating anything — a mid-loop failure would leave some tasks
+        # created and gate-wired with pending_additions already settled.
+        if self.resources.free_slots_available() < count:
+            self.resources.cancel_reservation(self.job_id, count)
+            self._count("scheduler.scale_up_aborts")
+            self._notify_rescaled(rv.name)
+            return
         old_p = rv.parallelism
         new_tasks = [self._create_task(rv) for _ in range(count)]
         job_vertex = rv.job_vertex
@@ -277,9 +333,16 @@ class Scheduler:
             return
         victims = sorted(active, key=lambda t: t.subtask_index)[-count:]
         old_p = rv.parallelism
+        self._unwire_from_producers(rv, victims)
+        for victim in victims:
+            victim.begin_drain()
+        self.scaling_log.append((self.sim.now, rv.name, old_p, rv.parallelism))
+        self._count("scheduler.scale_downs")
+
+    def _unwire_from_producers(self, rv: RuntimeVertex, victims: List[RuntimeTask]) -> None:
+        """Remove ``victims`` from all upstream partitioners so no new
+        items are routed to them."""
         victim_set = set(id(t) for t in victims)
-        # Remove victims from all upstream partitioners first so no new
-        # items are routed to them, then start draining.
         for edge in rv.job_vertex.inputs:
             for producer in self.runtime.vertex(edge.source.name).tasks:
                 if producer.state == "stopped":
@@ -291,10 +354,63 @@ class Scheduler:
                 kept = [c for c in gate.channels if id(c.consumer) not in victim_set]
                 if len(kept) != len(gate.channels):
                     gate.set_channels(kept)
-        for victim in victims:
-            victim.begin_drain()
-        self.scaling_log.append((self.sim.now, rv.name, old_p, rv.parallelism))
-        self._count("scheduler.scale_downs")
+
+    # ------------------------------------------------------------------
+    # preemption (cluster arbitration)
+    # ------------------------------------------------------------------
+
+    def reducible_slots(self) -> int:
+        """Slots arbitration could reclaim without violating bounds."""
+        total = 0
+        for rv in self.runtime.vertices.values():
+            total += max(
+                0,
+                min(rv.parallelism - rv.job_vertex.min_parallelism, rv.parallelism - 1),
+            )
+        return total
+
+    def preempt_slots(self, count: int, requester: str = "") -> int:
+        """Force-stop up to ``count`` reducible tasks for another job.
+
+        Victims are taken from the vertex with the most reducible tasks
+        first (ties broken by name), youngest task first — mirroring
+        scale-down's choice, but *abruptly*: a preempted task's queued
+        work is discarded and its slot is released synchronously, so the
+        requester can be granted the slots in the same admission call.
+        Returns how many slots were actually freed.
+        """
+        freed = 0
+        while freed < count:
+            choice = self._pick_preemption_victim()
+            if choice is None:
+                break
+            rv, victim = choice
+            old_p = rv.parallelism
+            self._unwire_from_producers(rv, [victim])
+            victim.fail()  # releases the slot synchronously via on_stopped
+            rv.preemptions += 1
+            freed += 1
+            self.scaling_log.append((self.sim.now, rv.name, old_p, rv.parallelism))
+            self._count("scheduler.preemptions")
+            if self.on_preempted is not None:
+                self.on_preempted(victim, requester)
+            self._notify_rescaled(rv.name)
+        return freed
+
+    def _pick_preemption_victim(self):
+        best_rv = None
+        best_headroom = 0
+        for name in sorted(self.runtime.vertices):
+            rv = self.runtime.vertices[name]
+            headroom = min(
+                rv.parallelism - rv.job_vertex.min_parallelism, rv.parallelism - 1
+            )
+            if headroom > best_headroom:
+                best_rv, best_headroom = rv, headroom
+        if best_rv is None:
+            return None
+        victim = max(best_rv.active_tasks(), key=lambda t: t.subtask_index)
+        return best_rv, victim
 
     # ------------------------------------------------------------------
     # failure handling
@@ -329,11 +445,20 @@ class Scheduler:
         if restart_delay is not None:
             if restart_delay < 0:
                 raise ValueError(f"restart_delay must be >= 0 (got {restart_delay})")
-            rv.pending_additions += 1
-            self.sim.schedule(
-                restart_delay + recovery_delay, self._materialize_scale_up, rv, 1
-            )
-            self._count("scheduler.task_restarts")
+            # The crash just freed a slot, so the reservation is normally
+            # granted — unless another job raced it away on a contended
+            # pool, in which case the restart is skipped (permanent loss)
+            # rather than crashing at materialization time.
+            grant = self.resources.request_slots(self.job_id, 1)
+            if grant.admitted:
+                rv.pending_additions += 1
+                self.sim.schedule(
+                    restart_delay + recovery_delay, self._materialize_scale_up, rv, 1
+                )
+                self._count("scheduler.task_restarts")
+            else:
+                self._count("scheduler.restart_denials")
+                self._notify_rescaled(task.vertex_name)
         else:
             # No replacement: the vertex permanently lost a degree of
             # parallelism, so keyed state must repartition onto survivors.

@@ -34,6 +34,7 @@ _COLUMNS = (
     ("task_hours", "task hours", 1.0),
     ("reaction_time_s", "reaction s", 1.0),
     ("fulfillment", "fulfill", 1.0),
+    ("fairness", "fairness", 1.0),
     ("final_parallelism", "final p", 1.0),
     ("recovery_time_s", "recovery s", 1.0),
     ("state_migrated_bytes", "mig bytes", 1.0),
@@ -74,6 +75,12 @@ def _shard_fulfillment(shard: Mapping[str, object]) -> Optional[float]:
         if c.get("fulfillment_ratio") is not None
     ]
     return _mean(ratios)
+
+
+def _shard_fairness(shard: Mapping[str, object]) -> Optional[float]:
+    # Jain's fairness index over per-job fulfillment — only multi_job
+    # (shared-cluster) shards carry it; single-job shards render "-".
+    return shard.get("fairness")
 
 
 def _shard_task_hours(shard: Mapping[str, object]) -> Optional[float]:
@@ -127,6 +134,7 @@ def build_scoreboard(aggregate: Mapping[str, object]) -> Dict[str, object]:
             "task_hours": _mean([_shard_task_hours(s) for s in members]),
             "reaction_time_s": _mean([_shard_reaction(s) for s in members]),
             "fulfillment": _mean([_shard_fulfillment(s) for s in members]),
+            "fairness": _mean([_shard_fairness(s) for s in members]),
             "final_parallelism": _mean([_shard_parallelism(s) for s in members]),
             "recovery_time_s": _mean([_shard_recovery(s) for s in members]),
             "state_migrated_bytes": _mean([_shard_migrated_bytes(s) for s in members]),
@@ -170,9 +178,10 @@ def render_scoreboard(scoreboard: Mapping[str, object]) -> str:
             value = policies[name].get(column)
             if value is None:
                 continue
+            higher_wins = column in ("fulfillment", "fairness")
             better = (
                 best_value is None
-                or (value > best_value if column == "fulfillment" else value < best_value)
+                or (value > best_value if higher_wins else value < best_value)
             )
             if better:
                 best_name, best_value = name, value
@@ -201,7 +210,9 @@ def render_scoreboard(scoreboard: Mapping[str, object]) -> str:
             "  ".join(row[i].ljust(widths[i]) for i in range(len(row))).rstrip()
         )
     lines.append("")
-    lines.append("* best per column (fulfill: higher is better; all others: lower)")
+    lines.append(
+        "* best per column (fulfill/fairness: higher is better; all others: lower)"
+    )
     return "\n".join(lines)
 
 

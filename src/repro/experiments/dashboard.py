@@ -257,7 +257,12 @@ class SweepDashboard:
                 shard["final_parallelism"].get("worker"),
                 f"{fulfillment * 100:.1f}%" if fulfillment is not None else None,
                 ms(e2e.get("mean_latency")),
-                f"{shard['series']['mean_cpu_utilization']:.2f}",
+                (
+                    f"{rho:.2f}"
+                    if (rho := shard["series"].get("mean_cpu_utilization"))
+                    is not None
+                    else None
+                ),
                 actuation["requests"] if actuation else None,
             ])
         return format_table(

@@ -226,6 +226,23 @@ def build_manifest(
     state_manager = getattr(job, "state_manager", None)
     if state_manager is not None:
         data["state"] = state_manager.summary()
+    # Shared-cluster section only when the engine hosts more than one
+    # job (single-job manifests keep their exact pre-admission bytes):
+    # this job's slot account plus the cluster-wide admission counters.
+    if len(getattr(engine, "jobs", ())) > 1:
+        resources = engine.resources
+        account = resources.account(job.job_id)
+        data["shared_cluster"] = {
+            "jobs": len(engine.jobs),
+            "admission": resources.arbitration.name,
+            # job_summaries() advances the usage integrals to `now`
+            "account": resources.job_summaries()[account.name],
+            "cluster": {
+                "total_slots": resources.total_slots,
+                "admission_denials": resources.admission_denials,
+                "preempted_tasks": resources.preempted_tasks,
+            },
+        }
     if extra:
         collisions = sorted(set(extra) & set(data))
         if collisions:

@@ -31,6 +31,13 @@ Schema history
   a record only stamps ``schema: 3`` when it uses a v3 branch or sets
   ``state_bytes`` — and only then carries the ``state_bytes`` key — so
   stateless traces stay byte-identical to pre-v3 output.
+* **v4** — shared-cluster admission: new branches ``admission-denied``
+  (a scale-up the cluster's admission controller refused — quota or
+  capacity) and ``preempted`` (a task force-stopped by arbitration in
+  favor of another job). No new fields. Lowest-schema emission applies
+  as before, so single-job traces that never hit admission stay
+  byte-identical to pre-v4 output; a pre-v4 record using a v4-only
+  branch is a validation error.
 """
 
 from __future__ import annotations
@@ -41,13 +48,16 @@ import os
 from typing import Dict, Iterable, Iterator, List, Optional
 
 #: bump when the record schema changes incompatibly
-TRACE_SCHEMA_VERSION = 3
+TRACE_SCHEMA_VERSION = 4
 
 #: the schema a record without any v3 feature is written as
 _BASE_SCHEMA_VERSION = 2
 
+#: the schema a record with v3 features but no v4 branch is written as
+_MIGRATION_SCHEMA_VERSION = 3
+
 #: schema versions this module can still read (older are strict subsets)
-SUPPORTED_TRACE_SCHEMAS = frozenset({1, 2, TRACE_SCHEMA_VERSION})
+SUPPORTED_TRACE_SCHEMAS = frozenset({1, 2, 3, TRACE_SCHEMA_VERSION})
 
 # --- branch names (which part of Algorithm 2 produced the record) -------
 BRANCH_REBALANCE = "rebalance"
@@ -98,7 +108,16 @@ V3_BRANCHES = frozenset({
     BRANCH_MIGRATION_DEFERRED,
 })
 
-BRANCHES = V1_BRANCHES | V2_BRANCHES | V3_BRANCHES
+# --- v4 branches (shared-cluster admission) -----------------------------
+BRANCH_ADMISSION_DENIED = "admission-denied"
+BRANCH_PREEMPTED = "preempted"
+
+V4_BRANCHES = frozenset({
+    BRANCH_ADMISSION_DENIED,
+    BRANCH_PREEMPTED,
+})
+
+BRANCHES = V1_BRANCHES | V2_BRANCHES | V3_BRANCHES | V4_BRANCHES
 
 #: the frozen field order of the JSONL schema (append-only by policy;
 #: ``attempt`` was appended in v2, ``state_bytes`` in v3 — the latter is
@@ -194,8 +213,10 @@ class TraceRecord:
 
     def schema_version(self) -> int:
         """The lowest schema this record needs (the version it is written as)."""
-        if self.branch in V3_BRANCHES or self.state_bytes is not None:
+        if self.branch in V4_BRANCHES:
             return TRACE_SCHEMA_VERSION
+        if self.branch in V3_BRANCHES or self.state_bytes is not None:
+            return _MIGRATION_SCHEMA_VERSION
         return _BASE_SCHEMA_VERSION
 
     def to_dict(self) -> Dict[str, object]:
@@ -341,6 +362,8 @@ def validate_record_dict(data: Dict[str, object], line: int = 0) -> List[str]:
         errors.append(f"{where}branch {branch!r} requires schema >= 2")
     elif schema in (1, 2) and branch in V3_BRANCHES:
         errors.append(f"{where}branch {branch!r} requires schema >= 3")
+    elif schema in (1, 2, 3) and branch in V4_BRANCHES:
+        errors.append(f"{where}branch {branch!r} requires schema >= 4")
     if schema == 1 and data.get("attempt") is not None:
         errors.append(f"{where}attempt field requires schema >= 2")
     if schema in (1, 2) and data.get("state_bytes") is not None:
@@ -361,6 +384,8 @@ def validate_record_dict(data: Dict[str, object], line: int = 0) -> List[str]:
     if branch in V2_BRANCHES and vertex is None:
         errors.append(f"{where}{branch} records must name a vertex")
     if branch in V3_BRANCHES and vertex is None:
+        errors.append(f"{where}{branch} records must name a vertex")
+    if branch in V4_BRANCHES and vertex is None:
         errors.append(f"{where}{branch} records must name a vertex")
     return errors
 

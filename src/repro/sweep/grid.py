@@ -22,10 +22,13 @@ from repro.sweep.shard import ShardSpec, shard_key
 #: deterministic service-time spike on the worker vertex, ``dropout``
 #: adds a QoS measurement dropout window, ``twitter`` runs the paper's
 #: six-vertex TwitterSentiment job (diurnal rate + burst) scaled to the
-#: shard's rate/bound/duration, and ``stateful`` is the spike pipeline
+#: shard's rate/bound/duration, ``stateful`` is the spike pipeline
 #: with a stateful worker (key-partitioned state, migration-priced
-#: rescales, checkpoint-restore crash recovery).
-WORKLOADS = ("steady", "spike", "dropout", "twitter", "stateful")
+#: rescales, checkpoint-restore crash recovery), and ``multi_job`` is
+#: the shared-cluster benchmark: two elastic jobs with anti-phased +
+#: coincident load peaks on a pool too small for both, under weighted
+#: fair-share admission (per-job fulfillment + fairness in the result).
+WORKLOADS = ("steady", "spike", "dropout", "twitter", "stateful", "multi_job")
 
 #: bump when the grid layout changes incompatibly
 GRID_SCHEMA_VERSION = 1
@@ -132,6 +135,26 @@ class SweepGrid:
             workloads=("twitter",),
             actuation=(False,),
             duration=40.0,
+        )
+
+    @classmethod
+    def shared_cluster(cls) -> "SweepGrid":
+        """The CI shared-cluster smoke grid.
+
+        Two seeds of the ``multi_job`` benchmark: two elastic jobs with
+        anti-phased + coincident peaks contending for a 12-slot pool
+        under weighted fair-share admission. Each shard reports per-job
+        fulfillment plus Jain's fairness index, and deterministically
+        exercises at least one admission denial and one preemption.
+        """
+        return cls(
+            name="shared-cluster",
+            seeds=(1, 2),
+            rates=(1400.0,),
+            bounds=(0.060,),
+            workloads=("multi_job",),
+            actuation=(False,),
+            duration=120.0,
         )
 
     @classmethod

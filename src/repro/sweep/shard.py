@@ -170,6 +170,11 @@ def build_shard_pipeline(spec: ShardSpec, export_dir: Optional[str] = None):
 
     if spec.workload == "twitter":
         return _twitter_pipeline(spec, export_dir)
+    if spec.workload == "multi_job":
+        raise ValueError(
+            "multi_job shards build two pipelines on one engine — "
+            "run them through run_shard, not build_shard_pipeline"
+        )
     builder = (
         PipelineBuilder(f"sweep-{spec.key}")
         .source(lambda now, rng: rng.random(), rate=ConstantRate(spec.rate))
@@ -250,16 +255,113 @@ def reaction_time_s(trackers, events) -> Optional[float]:
     return sum(reactions) / len(reactions)
 
 
+def _run_multi_job_shard(spec: ShardSpec) -> Dict[str, object]:
+    """The shared-cluster shard: two jobs contending for one pool.
+
+    Wraps :func:`repro.workloads.multi_job.run_shared_cluster` in the
+    standard shard-result envelope. Vertex names in
+    ``final_parallelism`` are job-qualified (both jobs reuse
+    source/worker/sink), ``series`` carries the *cluster-wide* task
+    seconds, and the multi-job extras (per-job summaries, Jain's
+    fairness, admission/preemption counters) ride along under ``jobs``/
+    ``fairness``/``cluster``. No per-run observability bundle is
+    exported — two jobs cannot share one bundle directory, and the
+    sweep's checkpoint/merge path only ever reads ``result.json``.
+    """
+    from repro.obs.manifest import graph_hash
+    from repro.workloads.multi_job import (
+        SharedClusterParams,
+        build_shared_cluster_engine,
+        collect_shared_cluster_result,
+    )
+
+    params = SharedClusterParams(
+        rate=spec.rate,
+        bound=spec.bound,
+        duration=spec.duration,
+        seed=spec.seed,
+        actuation=spec.actuation,
+        policy=spec.policy,
+    )
+    engine, jobs = build_shared_cluster_engine(params)
+    engine.run(spec.duration)
+    shared = collect_shared_cluster_result(engine, jobs, params)
+
+    constraints = [
+        {
+            "name": tracker.constraint.name,
+            "bound": tracker.constraint.bound,
+            "fulfillment_ratio": tracker.fulfillment_ratio,
+            "violations": tracker.violations,
+            "intervals": tracker.intervals_observed,
+        }
+        for job in jobs
+        for tracker in job.trackers
+    ]
+    scalers = [job.scaler for job in jobs if job.scaler is not None]
+    scaling: Optional[Dict[str, object]] = None
+    if scalers:
+        reactions = [
+            reaction_time_s(job.trackers, job.scaler.events)
+            for job in jobs
+            if job.scaler is not None
+        ]
+        reactions = [r for r in reactions if r is not None]
+        scaling = {
+            "policy": scalers[0].policy_name,
+            "rounds": sum(s.rounds for s in scalers),
+            "activations": sum(len(s.events) for s in scalers),
+            "skipped_stale": sum(s.skipped_stale for s in scalers),
+            "suppressed_scale_downs": sum(s.suppressed_scale_downs for s in scalers),
+            "reaction_time_s": (
+                sum(reactions) / len(reactions) if reactions else None
+            ),
+        }
+    return {
+        "shard_schema": SHARD_SCHEMA_VERSION,
+        "key": spec.key,
+        "params": spec.params(),
+        "graph_hash": "+".join(graph_hash(job.job_graph) for job in jobs),
+        "virtual_time_s": engine.now,
+        "fired_events": engine.sim.fired_events,
+        "final_parallelism": {
+            f"{job.job_graph.name}.{name}": rv.parallelism
+            for job in jobs
+            for name, rv in job.runtime.vertices.items()
+        },
+        "constraints": constraints,
+        "scaling": scaling,
+        "actuation": (
+            [job.reconciler.summary() for job in jobs]
+            if spec.actuation
+            else None
+        ),
+        "state": None,
+        "series": {
+            "mean_cpu_utilization": None,
+            "task_seconds": engine.resources.task_seconds(),
+        },
+        "jobs": shared["jobs"],
+        "fairness": shared["fairness"],
+        "cluster": shared["cluster"],
+    }
+
+
 def run_shard(spec: ShardSpec, export_dir: Optional[str] = None) -> Dict[str, object]:
     """Run one shard to completion; returns its deterministic result.
 
     When ``export_dir`` is given, the run's observability bundle
     (manifest/metrics/trace, wall time pinned) is exported there with the
-    shard's provenance merged into the manifest.
+    shard's provenance merged into the manifest. ``multi_job`` shards
+    take a dedicated path (two jobs, one pool) — see
+    :func:`_run_multi_job_shard`.
     """
     from repro.engine.engine import EngineConfig, StreamProcessingEngine
     from repro.experiments.recording import SeriesRecorder
     from repro.obs.manifest import export_run, git_provenance, graph_hash
+
+    if spec.workload == "multi_job":
+        return _run_multi_job_shard(spec)
 
     pipeline = build_shard_pipeline(spec, export_dir=export_dir)
     source_vertex, sink_vertex = WORKLOAD_VERTICES.get(spec.workload, DEFAULT_VERTICES)

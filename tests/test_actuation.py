@@ -207,7 +207,7 @@ class TestScalingResult:
 
     def test_noop_is_zero_zero(self):
         engine = deploy()
-        assert engine.scheduler.set_parallelism("Worker", 2) == (0, 0)
+        assert engine.scheduler.set_parallelism("Worker", 2) == ScalingResult(0, 0)
 
     def test_scale_down_at_min_with_pending_additions(self):
         """Satellite: reducible == 0 → no task stopped, applied == 0."""

@@ -96,7 +96,7 @@ class TestScaleUp:
         result = engine.scheduler.set_parallelism("Worker", 5)
         assert (result.requested, result.applied) == (3, 3)
         # pending additions count towards target: no double scale-up
-        assert engine.scheduler.set_parallelism("Worker", 5) == (0, 0)
+        assert engine.scheduler.set_parallelism("Worker", 5)[:2] == (0, 0)
 
     def test_scale_up_clamped_to_max(self):
         engine = deploy(worker_max=4)
